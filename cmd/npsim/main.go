@@ -1,0 +1,115 @@
+// Command npsim runs the full packet application (Figure 5 of the paper)
+// on the modelled IXP2850 and prints the Table 3 microengine allocation,
+// the Table 4 channel headroom, and the simulated throughput — for the
+// multiprocessing mapping and, with -mapping pipeline, context pipelining.
+//
+// Usage:
+//
+//	npsim -ruleset CR04 -mes 9
+//	npsim -ruleset FW01 -algo hsm -mapping pipeline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/expcuts"
+	"repro/internal/hicuts"
+	"repro/internal/hsm"
+	"repro/internal/memlayout"
+	"repro/internal/nptrace"
+	"repro/internal/pipeline"
+	"repro/internal/pktgen"
+	"repro/internal/rulegen"
+	"repro/internal/rules"
+)
+
+type traced interface {
+	Name() string
+	MemoryBytes() int
+	Program(h rules.Header) nptrace.Program
+}
+
+func main() {
+	var (
+		standard = flag.String("ruleset", "CR04", "standard set name (FW01..CR04)")
+		algo     = flag.String("algo", "expcuts", "expcuts, hicuts, hsm")
+		mes      = flag.Int("mes", 9, "classification MEs (1..9)")
+		packets  = flag.Int("packets", 25000, "packets to simulate")
+		traceLen = flag.Int("trace", 2000, "distinct headers")
+		seed     = flag.Int64("seed", 1, "trace seed")
+		mapping  = flag.String("mapping", "multi", "multi (multiprocessing) or pipeline (context pipelining)")
+	)
+	flag.Parse()
+
+	rs, err := rulegen.Standard(*standard)
+	if err != nil {
+		fatal(err)
+	}
+	tr, err := pktgen.Generate(rs, pktgen.Config{Count: *traceLen, Seed: *seed, MatchFraction: 0.9})
+	if err != nil {
+		fatal(err)
+	}
+	var cl traced
+	switch *algo {
+	case "expcuts":
+		cl, err = expcuts.New(rs, expcuts.Config{Headroom: memlayout.PaperHeadroom})
+	case "hicuts":
+		cl, err = hicuts.New(rs, hicuts.Config{Headroom: memlayout.PaperHeadroom})
+	case "hsm":
+		cl, err = hsm.New(rs, hsm.Config{})
+	default:
+		err = fmt.Errorf("unknown algorithm %q", *algo)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	progs := make([]nptrace.Program, len(tr.Headers))
+	for i, h := range tr.Headers {
+		progs[i] = cl.Program(h)
+	}
+
+	app := pipeline.DefaultAppConfig()
+	app.ClassifyMEs = *mes
+
+	fmt.Printf("application mapping (Table 3), %s on %s:\n", cl.Name(), rs.Name)
+	for _, a := range app.Allocation() {
+		fmt.Printf("  %-11s %d MEs\n", a.Role, a.MEs)
+	}
+	fmt.Printf("classification threads: %d\n", app.Threads())
+	fmt.Println("SRAM bandwidth headroom (Table 4):")
+	for c, h := range app.Headroom {
+		fmt.Printf("  SRAM#%d  utilization %3.0f%%  headroom %3.0f%%\n", c, (1-h)*100, h*100)
+	}
+
+	switch *mapping {
+	case "multi":
+		r, err := pipeline.RunMultiprocessing(app, progs, *packets)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nmultiprocessing: %.0f Mbps (%.2f Mpps, %d packets)\n",
+			r.ThroughputMbps, r.PPS/1e6, r.Packets)
+		fmt.Printf("  channel utilization: %.2f %.2f %.2f %.2f   ME utilization: %.2f\n",
+			r.ChannelUtilization[0], r.ChannelUtilization[1],
+			r.ChannelUtilization[2], r.ChannelUtilization[3], r.MEUtilization)
+	case "pipeline":
+		r, err := pipeline.RunContextPipelining(app, progs, *packets)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\ncontext pipelining: %.0f Mbps (bottleneck stage %d of %d)\n",
+			r.ThroughputMbps, r.BottleneckStage, len(r.Stages))
+		for i, s := range r.Stages {
+			fmt.Printf("  stage %d: %.0f Mbps offered\n", i, s.OfferedMbps)
+		}
+	default:
+		fatal(fmt.Errorf("unknown mapping %q (multi, pipeline)", *mapping))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "npsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,119 @@
+// Command pcbench regenerates the paper's tables and figures (and the
+// repository's ablations) and prints them in paper-style rows.
+//
+// Usage:
+//
+//	pcbench -experiment all
+//	pcbench -experiment fig6,fig9 -packets 50000
+//
+// Experiments: fig6 fig7 fig8 fig9 tab2 tab4 tab5
+// stride habs popcount binth sharing extended all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		which    = flag.String("experiment", "all", "comma-separated experiment list (fig6 fig7 fig8 fig9 tab2 tab4 tab5 stride habs popcount binth sharing extended all)")
+		packets  = flag.Int("packets", 25000, "packets per simulation")
+		traceLen = flag.Int("trace", 2000, "distinct headers per trace")
+		seed     = flag.Int64("seed", 1, "trace seed")
+		extSet   = flag.String("set", "CR04", "rule set for the extended comparison")
+	)
+	flag.Parse()
+
+	ctx := experiments.Context{TraceLen: *traceLen, Packets: *packets, Seed: *seed}
+
+	type driver struct {
+		name string
+		run  func() (string, error)
+	}
+	drivers := []driver{
+		{"fig6", func() (string, error) {
+			rows, err := experiments.Fig6(ctx)
+			return experiments.RenderFig6(rows), err
+		}},
+		{"fig7", func() (string, error) {
+			rows, err := experiments.Fig7(ctx)
+			return experiments.RenderFig7(rows), err
+		}},
+		{"fig8", func() (string, error) {
+			rows, err := experiments.Fig8(ctx)
+			return experiments.RenderFig8(rows), err
+		}},
+		{"fig9", func() (string, error) {
+			rows, err := experiments.Fig9(ctx)
+			return experiments.RenderFig9(rows), err
+		}},
+		{"tab2", func() (string, error) {
+			rows, err := experiments.Tab2(ctx)
+			return experiments.RenderTab2(rows), err
+		}},
+		{"tab4", func() (string, error) {
+			rows, err := experiments.Tab4(ctx)
+			return experiments.RenderTab4(rows), err
+		}},
+		{"tab5", func() (string, error) {
+			rows, err := experiments.Tab5(ctx)
+			return experiments.RenderTab5(rows), err
+		}},
+		{"stride", func() (string, error) {
+			rows, err := experiments.AblationStride(ctx)
+			return experiments.RenderAblationStride(rows), err
+		}},
+		{"habs", func() (string, error) {
+			rows, err := experiments.AblationHABS(ctx)
+			return experiments.RenderAblationHABS(rows), err
+		}},
+		{"popcount", func() (string, error) {
+			rows, err := experiments.AblationPopCount(ctx)
+			return experiments.RenderAblationPopCount(rows), err
+		}},
+		{"binth", func() (string, error) {
+			rows, err := experiments.AblationBinth(ctx)
+			return experiments.RenderAblationBinth(rows), err
+		}},
+		{"sharing", func() (string, error) {
+			rows, err := experiments.AblationSharing(ctx)
+			return experiments.RenderAblationSharing(rows), err
+		}},
+		{"extended", func() (string, error) {
+			rows, err := experiments.Extended(ctx, *extSet)
+			return experiments.RenderExtended(rows, *extSet), err
+		}},
+	}
+
+	want := map[string]bool{}
+	for _, name := range strings.Split(*which, ",") {
+		want[strings.TrimSpace(name)] = true
+	}
+	all := want["all"]
+
+	ran := 0
+	for _, d := range drivers {
+		if !all && !want[d.name] {
+			continue
+		}
+		start := time.Now()
+		out, err := d.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pcbench: %s: %v\n", d.name, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+		fmt.Printf("(%s completed in %.1fs)\n\n", d.name, time.Since(start).Seconds())
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "pcbench: no experiment matched %q\n", *which)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,184 @@
+// Command pcclass classifies a packet trace against a rule set with a
+// chosen algorithm and reports per-action counts, agreement with the
+// linear-search oracle, and the classifier's memory/access statistics.
+//
+// Usage:
+//
+//	pcclass -rules cr04.rules -trace cr04.trace -algo expcuts
+//	pcclass -ruleset CR04 -gen 10000 -algo hsm -verify
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/expcuts"
+	"repro/internal/hicuts"
+	"repro/internal/hsm"
+	"repro/internal/linear"
+	"repro/internal/pktgen"
+	"repro/internal/rfc"
+	"repro/internal/rulegen"
+	"repro/internal/rules"
+)
+
+type classifier interface {
+	Name() string
+	Classify(h rules.Header) int
+	MemoryBytes() int
+}
+
+func main() {
+	var (
+		rulesFile = flag.String("rules", "", "rule set file (ClassBench-style)")
+		standard  = flag.String("ruleset", "", "standard set name (FW01..CR04) instead of -rules")
+		traceFile = flag.String("trace", "", "trace file from pcgen")
+		gen       = flag.Int("gen", 0, "generate a trace of this length instead of -trace")
+		seed      = flag.Int64("seed", 1, "generated-trace seed")
+		algo      = flag.String("algo", "expcuts", "expcuts, hicuts, hsm, rfc, linear")
+		verify    = flag.Bool("verify", false, "cross-check every result against linear search")
+	)
+	flag.Parse()
+
+	rs, err := loadRules(*rulesFile, *standard)
+	if err != nil {
+		fatal(err)
+	}
+	headers, err := loadTrace(rs, *traceFile, *gen, *seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	start := time.Now()
+	cl, err := build(*algo, rs)
+	if err != nil {
+		fatal(err)
+	}
+	buildTime := time.Since(start)
+
+	oracle := linear.New(rs)
+	counts := map[string]int{}
+	mismatches := 0
+	start = time.Now()
+	for _, h := range headers {
+		match := cl.Classify(h)
+		if *verify && match != oracle.Classify(h) {
+			mismatches++
+		}
+		switch {
+		case match < 0:
+			counts["no-match"]++
+		default:
+			counts[rs.Rules[match].Action.String()]++
+		}
+	}
+	classifyTime := time.Since(start)
+
+	fmt.Printf("rule set      %s (%d rules)\n", rs.Name, rs.Len())
+	fmt.Printf("classifier    %s (built in %v, %.2f MB SRAM)\n",
+		cl.Name(), buildTime.Round(time.Millisecond), float64(cl.MemoryBytes())/1e6)
+	fmt.Printf("packets       %d in %v (%.2f Mpkt/s native Go)\n",
+		len(headers), classifyTime.Round(time.Millisecond),
+		float64(len(headers))/classifyTime.Seconds()/1e6)
+	for _, action := range []string{"permit", "deny", "class0", "class1", "class2", "class3", "no-match"} {
+		if counts[action] > 0 {
+			fmt.Printf("  %-9s %d\n", action, counts[action])
+		}
+	}
+	if *verify {
+		if mismatches > 0 {
+			fmt.Printf("VERIFY FAILED: %d mismatches against linear search\n", mismatches)
+			os.Exit(1)
+		}
+		fmt.Println("verify        all results match linear search")
+	}
+}
+
+func loadRules(file, standard string) (*rules.RuleSet, error) {
+	if standard != "" {
+		return rulegen.Standard(standard)
+	}
+	if file == "" {
+		return nil, fmt.Errorf("need -rules or -ruleset")
+	}
+	f, err := os.Open(file)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return rules.Parse(file, f)
+}
+
+func loadTrace(rs *rules.RuleSet, file string, gen int, seed int64) ([]rules.Header, error) {
+	if gen > 0 {
+		tr, err := pktgen.Generate(rs, pktgen.Config{Count: gen, Seed: seed, MatchFraction: pktgen.DefaultMatchFraction})
+		if err != nil {
+			return nil, err
+		}
+		return tr.Headers, nil
+	}
+	if file == "" {
+		return nil, fmt.Errorf("need -trace or -gen")
+	}
+	f, err := os.Open(file)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []rules.Header
+	sc := bufio.NewScanner(f)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var src, dst string
+		var sp, dp, proto int
+		if _, err := fmt.Sscanf(line, "%s %s %d %d %d", &src, &dst, &sp, &dp, &proto); err != nil {
+			return nil, fmt.Errorf("trace line %d: %v", lineNo, err)
+		}
+		s, err := rules.ParseIP(src)
+		if err != nil {
+			return nil, fmt.Errorf("trace line %d: %v", lineNo, err)
+		}
+		d, err := rules.ParseIP(dst)
+		if err != nil {
+			return nil, fmt.Errorf("trace line %d: %v", lineNo, err)
+		}
+		out = append(out, rules.Header{
+			SrcIP: s, DstIP: d,
+			SrcPort: uint16(sp), DstPort: uint16(dp), Proto: uint8(proto),
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func build(algo string, rs *rules.RuleSet) (classifier, error) {
+	switch algo {
+	case "expcuts":
+		return expcuts.New(rs, expcuts.Config{})
+	case "hicuts":
+		return hicuts.New(rs, hicuts.Config{})
+	case "hsm":
+		return hsm.New(rs, hsm.Config{})
+	case "rfc":
+		return rfc.New(rs, rfc.Config{})
+	case "linear":
+		return linear.New(rs), nil
+	}
+	return nil, fmt.Errorf("unknown algorithm %q (expcuts, hicuts, hsm, rfc, linear)", algo)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pcclass:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,99 @@
+// Command pcgen generates synthetic rule sets and packet traces to files.
+//
+// Usage:
+//
+//	pcgen -ruleset CR04 -out cr04.rules
+//	pcgen -kind firewall -size 500 -seed 42 -out fw.rules
+//	pcgen -ruleset FW01 -trace 10000 -traceseed 7 -out fw01.trace
+//
+// Rule sets use the ClassBench-style text format (see internal/rules);
+// traces are one 5-tuple per line: srcIP dstIP srcPort dstPort proto.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/pktgen"
+	"repro/internal/rulegen"
+	"repro/internal/rules"
+)
+
+func main() {
+	var (
+		standard  = flag.String("ruleset", "", "standard set name (FW01..CR04); overrides -kind/-size")
+		kind      = flag.String("kind", "firewall", "synthetic family: firewall, core-router, random")
+		size      = flag.Int("size", 100, "rules to generate")
+		seed      = flag.Int64("seed", 1, "rule generation seed")
+		traceLen  = flag.Int("trace", 0, "if > 0, emit a packet trace of this length instead of rules")
+		traceSeed = flag.Int64("traceseed", 1, "trace seed")
+		match     = flag.Float64("match", pktgen.DefaultMatchFraction, "rule-directed fraction of trace headers")
+		out       = flag.String("out", "-", "output file (- for stdout)")
+	)
+	flag.Parse()
+
+	rs, err := loadSet(*standard, *kind, *size, *seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+		w = f
+	}
+
+	if *traceLen > 0 {
+		tr, err := pktgen.Generate(rs, pktgen.Config{Count: *traceLen, Seed: *traceSeed, MatchFraction: *match})
+		if err != nil {
+			fatal(err)
+		}
+		bw := bufio.NewWriter(w)
+		fmt.Fprintf(bw, "# trace over %s: %d packets, seed %d, match %.2f\n",
+			rs.Name, tr.Len(), *traceSeed, *match)
+		for _, h := range tr.Headers {
+			fmt.Fprintf(bw, "%s %s %d %d %d\n",
+				rules.FormatIP(h.SrcIP), rules.FormatIP(h.DstIP), h.SrcPort, h.DstPort, h.Proto)
+		}
+		if err := bw.Flush(); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if err := rs.Write(w); err != nil {
+		fatal(err)
+	}
+}
+
+func loadSet(standard, kind string, size int, seed int64) (*rules.RuleSet, error) {
+	if standard != "" {
+		return rulegen.Standard(standard)
+	}
+	var k rulegen.Kind
+	switch kind {
+	case "firewall":
+		k = rulegen.Firewall
+	case "core-router":
+		k = rulegen.CoreRouter
+	case "random":
+		k = rulegen.Random
+	default:
+		return nil, fmt.Errorf("unknown kind %q (firewall, core-router, random)", kind)
+	}
+	return rulegen.Generate(rulegen.Config{Kind: k, Size: size, Seed: seed})
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pcgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,73 @@
+// Quickstart: build an ExpCuts classifier over a handful of hand-written
+// rules, classify a few packets, and print what the decision tree looks
+// like in SRAM terms.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// A miniature edge policy: web and DNS into a server subnet, SSH from
+	// one management host, default deny.
+	rs := repro.NewRuleSet("quickstart", []repro.Rule{
+		{
+			DstIP:   repro.Prefix{Addr: ip(192, 168, 1, 0), Len: 24},
+			SrcPort: repro.PortRange{Lo: 0, Hi: 65535},
+			DstPort: repro.PortRange{Lo: 80, Hi: 80},
+			Proto:   repro.ProtoMatch{Value: repro.ProtoTCP},
+			Action:  repro.ActionPermit,
+		},
+		{
+			DstIP:   repro.Prefix{Addr: ip(192, 168, 1, 0), Len: 24},
+			SrcPort: repro.PortRange{Lo: 0, Hi: 65535},
+			DstPort: repro.PortRange{Lo: 53, Hi: 53},
+			Proto:   repro.ProtoMatch{Value: repro.ProtoUDP},
+			Action:  repro.ActionPermit,
+		},
+		{
+			SrcIP:   repro.Prefix{Addr: ip(10, 0, 0, 7), Len: 32},
+			DstIP:   repro.Prefix{Addr: ip(192, 168, 1, 0), Len: 24},
+			SrcPort: repro.PortRange{Lo: 0, Hi: 65535},
+			DstPort: repro.PortRange{Lo: 22, Hi: 22},
+			Proto:   repro.ProtoMatch{Value: repro.ProtoTCP},
+			Action:  repro.ActionPermit,
+		},
+		{
+			SrcPort: repro.PortRange{Lo: 0, Hi: 65535},
+			DstPort: repro.PortRange{Lo: 0, Hi: 65535},
+			Proto:   repro.ProtoMatch{Wildcard: true},
+			Action:  repro.ActionDeny,
+		},
+	})
+
+	tree, err := repro.NewExpCuts(rs, repro.ExpCutsConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ExpCuts over %d rules: depth %d (explicit), %d internal nodes, %d bytes SRAM\n\n",
+		rs.Len(), tree.Depth(), tree.Stats().Nodes, tree.MemoryBytes())
+
+	packets := []repro.Header{
+		{SrcIP: ip(203, 0, 113, 9), DstIP: ip(192, 168, 1, 10), SrcPort: 49152, DstPort: 80, Proto: repro.ProtoTCP},
+		{SrcIP: ip(203, 0, 113, 9), DstIP: ip(192, 168, 1, 10), SrcPort: 49152, DstPort: 53, Proto: repro.ProtoUDP},
+		{SrcIP: ip(10, 0, 0, 7), DstIP: ip(192, 168, 1, 1), SrcPort: 50000, DstPort: 22, Proto: repro.ProtoTCP},
+		{SrcIP: ip(10, 0, 0, 8), DstIP: ip(192, 168, 1, 1), SrcPort: 50000, DstPort: 22, Proto: repro.ProtoTCP},
+		{SrcIP: ip(203, 0, 113, 9), DstIP: ip(8, 8, 8, 8), SrcPort: 1234, DstPort: 4444, Proto: repro.ProtoUDP},
+	}
+	for _, h := range packets {
+		match := tree.Classify(h)
+		verdict := "no-match"
+		if match >= 0 {
+			verdict = fmt.Sprintf("rule %d (%s)", match, rs.Rules[match].Action)
+		}
+		fmt.Printf("%-55v -> %s\n", h, verdict)
+	}
+}
+
+func ip(a, b, c, d byte) uint32 {
+	return uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d)
+}

@@ -1,0 +1,209 @@
+package bitstring
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestABSRoundTrip(t *testing.T) {
+	cases := [][]uint32{
+		{5},
+		{5, 5, 5, 5},
+		{1, 2, 3, 4},
+		{7, 7, 8, 8, 8, 9, 7, 7},
+		make([]uint32, 256), // all zero: one run
+	}
+	for _, ptrs := range cases {
+		a := CompressABS(ptrs)
+		if got := a.Decompress(); !reflect.DeepEqual(got, ptrs) {
+			t.Errorf("Decompress(%v) = %v", ptrs, got)
+		}
+		for n := range ptrs {
+			if got := a.At(n); got != ptrs[n] {
+				t.Errorf("At(%d) = %d, want %d (ptrs %v)", n, got, ptrs[n], ptrs)
+			}
+		}
+	}
+}
+
+func TestABSCompression(t *testing.T) {
+	// 256 identical pointers: 8 bit-string words + 1 CPA word.
+	a := CompressABS(make([]uint32, 256))
+	if len(a.CPA) != 1 {
+		t.Errorf("CPA length = %d, want 1", len(a.CPA))
+	}
+	if a.Words() != 9 {
+		t.Errorf("Words = %d, want 9", a.Words())
+	}
+	// All-distinct pointers: CPA as large as the input.
+	ptrs := make([]uint32, 256)
+	for i := range ptrs {
+		ptrs[i] = uint32(i)
+	}
+	b := CompressABS(ptrs)
+	if len(b.CPA) != 256 {
+		t.Errorf("CPA length = %d, want 256", len(b.CPA))
+	}
+}
+
+func TestHABSPaperExample(t *testing.T) {
+	// Figure 3 of the paper: 16 sub-spaces, 4-bit HABS (w=4, v=2, u=2).
+	// Sub-spaces 0..3 map to child SS0; 4..15 map to child SS1.
+	// Pointer array: [A A A A B B B B B B B B B B B B].
+	const A, B = 100, 200
+	ptrs := make([]uint32, 16)
+	for i := range ptrs {
+		if i < 4 {
+			ptrs[i] = A
+		} else {
+			ptrs[i] = B
+		}
+	}
+	h, err := CompressHABS(ptrs, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sub-arrays: [A A A A] [B B B B] [B B B B] [B B B B] -> bits 1100
+	// (paper's orientation; our bit 0 = first sub-array, so 0b0011).
+	if h.Bits != 0b0011 {
+		t.Errorf("HABS bits = %04b, want 0011", h.Bits)
+	}
+	if h.SubArrays() != 2 {
+		t.Errorf("SubArrays = %d, want 2", h.SubArrays())
+	}
+	// The paper walks sub-space 9: m=2, j=1, i = popcount(bits 0..2)-1 = 1,
+	// pointer = CPA[1<<2+1] = CPA[5], which must be B.
+	if got := h.At(9); got != B {
+		t.Errorf("At(9) = %d, want %d", got, B)
+	}
+	if got := h.At(2); got != A {
+		t.Errorf("At(2) = %d, want %d", got, A)
+	}
+	// CPA index 5 specifically holds B (the paper's P5).
+	if h.CPA[5] != B {
+		t.Errorf("CPA[5] = %d, want %d", h.CPA[5], B)
+	}
+}
+
+func TestHABSRoundTripExhaustive(t *testing.T) {
+	// Every (w, v) configuration the repo supports, random pointer arrays.
+	rng := rand.New(rand.NewSource(1))
+	for w := uint(1); w <= 8; w++ {
+		for v := uint(0); v <= w && v <= MaxV; v++ {
+			for trial := 0; trial < 20; trial++ {
+				ptrs := make([]uint32, 1<<w)
+				// Few distinct values to exercise aggregation.
+				vals := []uint32{1, 2, 3}
+				run := 0
+				var cur uint32
+				for i := range ptrs {
+					if run == 0 {
+						cur = vals[rng.Intn(len(vals))]
+						run = 1 + rng.Intn(len(ptrs))
+					}
+					ptrs[i] = cur
+					run--
+				}
+				h, err := CompressHABS(ptrs, w, v)
+				if err != nil {
+					t.Fatalf("w=%d v=%d: %v", w, v, err)
+				}
+				if got := h.Decompress(); !reflect.DeepEqual(got, ptrs) {
+					t.Fatalf("w=%d v=%d: decompress mismatch", w, v)
+				}
+				for n := range ptrs {
+					if h.At(n) != ptrs[n] {
+						t.Fatalf("w=%d v=%d: At(%d) = %d, want %d", w, v, n, h.At(n), ptrs[n])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestHABSErrors(t *testing.T) {
+	if _, err := CompressHABS(make([]uint32, 16), 5, 2); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := CompressHABS(make([]uint32, 4), 2, 3); err == nil {
+		t.Error("v > w should fail")
+	}
+	if _, err := CompressHABS(make([]uint32, 1<<8), 8, 6); err == nil {
+		t.Error("v > MaxV should fail")
+	}
+}
+
+func TestHABSWordsSparse(t *testing.T) {
+	// The motivating observation (§4.2.2): with 256 cuts the child count is
+	// small, so the CPA is much smaller than the full array. With a single
+	// child, exactly one sub-array is stored.
+	h, err := CompressHABS(make([]uint32, 256), 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Words() != 16 {
+		t.Errorf("Words = %d, want 16 (one 16-pointer sub-array)", h.Words())
+	}
+	if h.Bits != 1 {
+		t.Errorf("Bits = %b, want 1", h.Bits)
+	}
+}
+
+func TestRank(t *testing.T) {
+	cases := []struct {
+		bs   uint32
+		m    uint
+		want int
+	}{
+		{0b0011, 2, 2}, // paper example: bits 0..2 of 1100 (our order 0011)
+		{0b0011, 0, 1},
+		{0b0011, 3, 2},
+		{0xFFFFFFFF, 31, 32},
+		{0xFFFFFFFF, 0, 1},
+		{0x80000000, 30, 0},
+		{0x80000000, 31, 1},
+		{0, 31, 0},
+	}
+	for _, c := range cases {
+		if got := Rank(c.bs, c.m); got != c.want {
+			t.Errorf("Rank(%#x, %d) = %d, want %d", c.bs, c.m, got, c.want)
+		}
+	}
+}
+
+func TestABSAtMatchesDecompressQuick(t *testing.T) {
+	f := func(seed int64, nRuns uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + int(nRuns)
+		ptrs := make([]uint32, n)
+		for i := range ptrs {
+			ptrs[i] = uint32(rng.Intn(4))
+		}
+		a := CompressABS(ptrs)
+		for i := range ptrs {
+			if a.At(i) != ptrs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestABSAtPanicsOutOfRange(t *testing.T) {
+	a := CompressABS([]uint32{1, 2})
+	for _, n := range []int{-1, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("At(%d) should panic", n)
+				}
+			}()
+			a.At(n)
+		}()
+	}
+}

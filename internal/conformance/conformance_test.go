@@ -1,0 +1,265 @@
+// Package conformance holds the cross-classifier integration matrix: every
+// classifier, on every rule-set family, in both its native and serialized
+// lookup paths, must agree exactly with priority linear search. This is the
+// repository's strongest correctness statement — any divergence anywhere in
+// a builder, a compression step, a serializer or a traced lookup fails
+// here.
+package conformance
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/expcuts"
+	"repro/internal/hicuts"
+	"repro/internal/hsm"
+	"repro/internal/hypercuts"
+	"repro/internal/linear"
+	"repro/internal/memlayout"
+	"repro/internal/nptrace"
+	"repro/internal/pktgen"
+	"repro/internal/rfc"
+	"repro/internal/rulegen"
+	"repro/internal/rules"
+)
+
+// classifier is the conformance surface: native lookup plus the recorded
+// access program whose Result field is the serialized lookup's answer.
+type classifier interface {
+	Name() string
+	Classify(h rules.Header) int
+	Program(h rules.Header) nptrace.Program
+}
+
+// builders constructs every classifier variant under test.
+var builders = []struct {
+	name  string
+	build func(rs *rules.RuleSet) (classifier, error)
+}{
+	{"expcuts-w8", func(rs *rules.RuleSet) (classifier, error) {
+		return expcuts.New(rs, expcuts.Config{})
+	}},
+	{"expcuts-w4", func(rs *rules.RuleSet) (classifier, error) {
+		return expcuts.New(rs, expcuts.Config{StrideW: 4})
+	}},
+	{"expcuts-w2-v2", func(rs *rules.RuleSet) (classifier, error) {
+		return expcuts.New(rs, expcuts.Config{StrideW: 2, HabsV: 2})
+	}},
+	{"expcuts-siblings", func(rs *rules.RuleSet) (classifier, error) {
+		return expcuts.New(rs, expcuts.Config{Sharing: expcuts.ShareSiblings})
+	}},
+	{"expcuts-paper-headroom", func(rs *rules.RuleSet) (classifier, error) {
+		return expcuts.New(rs, expcuts.Config{Headroom: memlayout.PaperHeadroom, Channels: 4})
+	}},
+	{"hicuts-binth8", func(rs *rules.RuleSet) (classifier, error) {
+		return hicuts.New(rs, hicuts.Config{})
+	}},
+	{"hicuts-binth2-pruned", func(rs *rules.RuleSet) (classifier, error) {
+		return hicuts.New(rs, hicuts.Config{Binth: 2, PruneCovered: true})
+	}},
+	{"hicuts-1ch", func(rs *rules.RuleSet) (classifier, error) {
+		return hicuts.New(rs, hicuts.Config{Channels: 1})
+	}},
+	{"hypercuts", func(rs *rules.RuleSet) (classifier, error) {
+		return hypercuts.New(rs, hypercuts.Config{})
+	}},
+	{"hypercuts-binth4", func(rs *rules.RuleSet) (classifier, error) {
+		return hypercuts.New(rs, hypercuts.Config{Binth: 4})
+	}},
+	{"hsm", func(rs *rules.RuleSet) (classifier, error) {
+		return hsm.New(rs, hsm.Config{})
+	}},
+	{"hsm-2ch", func(rs *rules.RuleSet) (classifier, error) {
+		return hsm.New(rs, hsm.Config{Channels: 2})
+	}},
+	{"rfc", func(rs *rules.RuleSet) (classifier, error) {
+		return rfc.New(rs, rfc.Config{})
+	}},
+	{"linear", func(rs *rules.RuleSet) (classifier, error) {
+		return linear.New(rs), nil
+	}},
+}
+
+// families are the rule-set workloads of the matrix.
+var families = []struct {
+	name string
+	kind rulegen.Kind
+	size int
+}{
+	{"firewall", rulegen.Firewall, 120},
+	{"core-router", rulegen.CoreRouter, 240},
+	{"random", rulegen.Random, 50},
+}
+
+// TestMatrixAgainstOracle is the full matrix: 12 classifier variants × 3
+// families, 1500 headers each, native and serialized paths.
+func TestMatrixAgainstOracle(t *testing.T) {
+	for _, fam := range families {
+		rs, err := rulegen.Generate(rulegen.Config{Kind: fam.kind, Size: fam.size, Seed: 1009})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := pktgen.Generate(rs, pktgen.Config{Count: 1500, Seed: 1010, MatchFraction: 0.85})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range builders {
+			b := b
+			t.Run(fmt.Sprintf("%s/%s", fam.name, b.name), func(t *testing.T) {
+				cl, err := b.build(rs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, h := range tr.Headers {
+					want := rs.Match(h)
+					if got := cl.Classify(h); got != want {
+						t.Fatalf("native Classify(%v) = %d, oracle %d", h, got, want)
+					}
+				}
+				// Serialized path on a subsample (the programs are the
+				// expensive part).
+				for _, h := range tr.Headers[:300] {
+					p := cl.Program(h)
+					if want := rs.Match(h); p.Result != want {
+						t.Fatalf("serialized lookup(%v) = %d, oracle %d", h, p.Result, want)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestQuickRandomPolicies drives testing/quick over whole *policies*:
+// random seeds generate random rule sets and random headers; all
+// classifiers must agree with the oracle. Catches interactions no curated
+// case covers.
+func TestQuickRandomPolicies(t *testing.T) {
+	f := func(seed int64, headerSeed int64) bool {
+		rs, err := rulegen.Generate(rulegen.Config{Kind: rulegen.Random, Size: 25, Seed: seed})
+		if err != nil {
+			return false
+		}
+		ec, err := expcuts.New(rs, expcuts.Config{StrideW: 4})
+		if err != nil {
+			return false
+		}
+		hc, err := hicuts.New(rs, hicuts.Config{Binth: 4})
+		if err != nil {
+			return false
+		}
+		hs, err := hsm.New(rs, hsm.Config{})
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(headerSeed))
+		for i := 0; i < 60; i++ {
+			h := pktgen.RandomHeader(rng)
+			want := rs.Match(h)
+			if ec.Classify(h) != want || hc.Classify(h) != want || hs.Classify(h) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAdversarialRuleSets exercises hand-built corner-case policies that
+// have historically broken classifiers of this kind.
+func TestAdversarialRuleSets(t *testing.T) {
+	full := rules.FullPortRange
+	cases := []struct {
+		name string
+		set  []rules.Rule
+	}{
+		{"single-wildcard", []rules.Rule{
+			{SrcPort: full, DstPort: full, Proto: rules.AnyProto},
+		}},
+		{"shadowed-rule", []rules.Rule{
+			{SrcPort: full, DstPort: full, Proto: rules.AnyProto, Action: rules.ActionPermit},
+			{SrcIP: rules.Prefix{Addr: 0x0A000000, Len: 8}, SrcPort: full, DstPort: full, Proto: rules.AnyProto, Action: rules.ActionDeny},
+		}},
+		{"nested-prefixes", []rules.Rule{
+			{SrcIP: rules.Prefix{Addr: 0x0A010200, Len: 24}, SrcPort: full, DstPort: full, Proto: rules.AnyProto},
+			{SrcIP: rules.Prefix{Addr: 0x0A010000, Len: 16}, SrcPort: full, DstPort: full, Proto: rules.AnyProto},
+			{SrcIP: rules.Prefix{Addr: 0x0A000000, Len: 8}, SrcPort: full, DstPort: full, Proto: rules.AnyProto},
+		}},
+		{"adjacent-port-ranges", []rules.Rule{
+			{SrcPort: full, DstPort: rules.PortRange{Lo: 0, Hi: 1023}, Proto: rules.AnyProto},
+			{SrcPort: full, DstPort: rules.PortRange{Lo: 1024, Hi: 49151}, Proto: rules.AnyProto},
+			{SrcPort: full, DstPort: rules.PortRange{Lo: 49152, Hi: 65535}, Proto: rules.AnyProto},
+		}},
+		{"one-point-overlap", []rules.Rule{
+			{SrcPort: full, DstPort: rules.PortRange{Lo: 100, Hi: 200}, Proto: rules.AnyProto},
+			{SrcPort: full, DstPort: rules.PortRange{Lo: 200, Hi: 300}, Proto: rules.AnyProto},
+		}},
+		{"domain-edges", []rules.Rule{
+			{SrcIP: rules.Prefix{Addr: 0, Len: 32}, SrcPort: full, DstPort: full, Proto: rules.AnyProto},
+			{SrcIP: rules.Prefix{Addr: 0xFFFFFFFF, Len: 32}, SrcPort: full, DstPort: full, Proto: rules.AnyProto},
+			{SrcPort: rules.PortRange{Lo: 65535, Hi: 65535}, DstPort: full, Proto: rules.AnyProto},
+		}},
+		{"proto-ladder", []rules.Rule{
+			{SrcPort: full, DstPort: full, Proto: rules.ProtoMatch{Value: 0}},
+			{SrcPort: full, DstPort: full, Proto: rules.ProtoMatch{Value: 255}},
+			{SrcPort: full, DstPort: full, Proto: rules.ProtoMatch{Value: rules.ProtoTCP}},
+		}},
+	}
+	rng := rand.New(rand.NewSource(77))
+	for _, tc := range cases {
+		rs := rules.NewRuleSet(tc.name, tc.set)
+		headers := make([]rules.Header, 0, 400)
+		// Probe rule corners and random points.
+		for i := range rs.Rules {
+			r := &rs.Rules[i]
+			b := r.Box()
+			headers = append(headers,
+				rules.Header{SrcIP: b[0].Lo, DstIP: b[1].Lo, SrcPort: uint16(b[2].Lo), DstPort: uint16(b[3].Lo), Proto: uint8(b[4].Lo)},
+				rules.Header{SrcIP: b[0].Hi, DstIP: b[1].Hi, SrcPort: uint16(b[2].Hi), DstPort: uint16(b[3].Hi), Proto: uint8(b[4].Hi)},
+			)
+		}
+		for i := 0; i < 300; i++ {
+			headers = append(headers, pktgen.RandomHeader(rng))
+		}
+		for _, b := range builders {
+			cl, err := b.build(rs)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", tc.name, b.name, err)
+			}
+			for _, h := range headers {
+				want := rs.Match(h)
+				if got := cl.Classify(h); got != want {
+					t.Fatalf("%s/%s: Classify(%v) = %d, oracle %d", tc.name, b.name, h, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestProgramResultsMatchNativeEverywhere asserts the Program.Result field
+// (used by the simulator to cross-check runs) equals the native answer for
+// every builder on a structured set.
+func TestProgramResultsMatchNativeEverywhere(t *testing.T) {
+	rs, err := rulegen.Generate(rulegen.Config{Kind: rulegen.Firewall, Size: 90, Seed: 2024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := pktgen.Generate(rs, pktgen.Config{Count: 400, Seed: 2025, MatchFraction: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range builders {
+		cl, err := b.build(rs)
+		if err != nil {
+			t.Fatalf("%s: %v", b.name, err)
+		}
+		for _, h := range tr.Headers {
+			if p := cl.Program(h); p.Result != cl.Classify(h) {
+				t.Fatalf("%s: program result %d != native %d for %v", b.name, p.Result, cl.Classify(h), h)
+			}
+		}
+	}
+}

@@ -1,0 +1,94 @@
+// Package des is a minimal deterministic discrete-event simulation kernel:
+// a virtual clock and a time-ordered event queue with stable FIFO ordering
+// for simultaneous events. The IXP2850 model (internal/npsim) runs on it.
+package des
+
+import "container/heap"
+
+// Time is virtual time in simulation ticks (ME clock cycles for npsim).
+type Time uint64
+
+// Event is a callback scheduled at a point in virtual time.
+type Event func(now Time)
+
+type item struct {
+	at  Time
+	seq uint64
+	fn  Event
+}
+
+type eventHeap []item
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(item)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Sim is a discrete-event simulator. The zero value is ready to use.
+type Sim struct {
+	now   Time
+	seq   uint64
+	queue eventHeap
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() Time { return s.now }
+
+// At schedules fn at absolute time t. Scheduling in the past panics: it is
+// always a model bug, and silently reordering events would destroy
+// determinism.
+func (s *Sim) At(t Time, fn Event) {
+	if t < s.now {
+		panic("des: scheduling into the past")
+	}
+	heap.Push(&s.queue, item{at: t, seq: s.seq, fn: fn})
+	s.seq++
+}
+
+// After schedules fn delay ticks from now.
+func (s *Sim) After(delay Time, fn Event) {
+	s.At(s.now+delay, fn)
+}
+
+// Step dispatches the next event; it reports false when the queue is empty.
+func (s *Sim) Step() bool {
+	if len(s.queue) == 0 {
+		return false
+	}
+	it := heap.Pop(&s.queue).(item)
+	s.now = it.at
+	it.fn(s.now)
+	return true
+}
+
+// RunUntil dispatches events until the queue is empty or the next event
+// lies beyond the deadline; the clock is left at min(deadline, last event).
+func (s *Sim) RunUntil(deadline Time) {
+	for len(s.queue) > 0 && s.queue[0].at <= deadline {
+		s.Step()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// Run dispatches events until the queue is empty.
+func (s *Sim) Run() {
+	for s.Step() {
+	}
+}
+
+// Pending returns the number of queued events.
+func (s *Sim) Pending() int { return len(s.queue) }

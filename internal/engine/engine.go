@@ -1,0 +1,146 @@
+// Package engine is a native Go classification runtime that mirrors the
+// programming challenges of §3.2 of the paper with real goroutines instead
+// of microengine threads: a dispatcher feeds packets to a pool of worker
+// goroutines ("threads") through a bounded ring, workers classify
+// concurrently, and a reorder stage restores arrival order using sequence
+// numbers — the paper's third challenge, "maintaining packet ordering in
+// spite of parallel processing ... using sequence numbers and/or strict
+// thread ordering".
+//
+// The NP cycle model lives in internal/npsim; this package is the
+// software-parallel counterpart used by applications that want to classify
+// on a general-purpose host (goroutines approximate the NP's thread-level
+// parallelism at far lower fidelity, but with identical semantics).
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/rules"
+)
+
+// Classifier is the lookup the engine parallelizes.
+type Classifier interface {
+	Classify(h rules.Header) int
+}
+
+// Config parameterizes the engine.
+type Config struct {
+	// Workers is the number of classification goroutines.
+	Workers int
+	// QueueDepth bounds the dispatch ring (back-pressure).
+	QueueDepth int
+	// PreserveOrder, when set, re-sequences results into arrival order
+	// before they are emitted.
+	PreserveOrder bool
+}
+
+// DefaultConfig runs 8 workers — one per hardware thread of a single
+// microengine — with ordering on.
+func DefaultConfig() Config {
+	return Config{Workers: 8, QueueDepth: 256, PreserveOrder: true}
+}
+
+func (c *Config) fillDefaults() error {
+	d := DefaultConfig()
+	if c.Workers == 0 {
+		c.Workers = d.Workers
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = d.QueueDepth
+	}
+	if c.Workers < 1 {
+		return fmt.Errorf("engine: workers must be >= 1, got %d", c.Workers)
+	}
+	if c.QueueDepth < 1 {
+		return fmt.Errorf("engine: queue depth must be >= 1, got %d", c.QueueDepth)
+	}
+	return nil
+}
+
+// Result is one classified packet: its arrival sequence number, the header,
+// and the matched rule (−1 for none).
+type Result struct {
+	Seq    uint64
+	Header rules.Header
+	Match  int
+}
+
+// Stats reports one Run.
+type Stats struct {
+	// Packets processed.
+	Packets int
+	// MaxReorder is the largest number of results the reorder stage held
+	// back waiting for an earlier sequence number (0 when ordering is
+	// off or classification completed in order).
+	MaxReorder int
+}
+
+// Run classifies every header, invoking emit exactly once per packet from
+// a single goroutine. With PreserveOrder, emit sees results strictly in
+// arrival order; otherwise in completion order. Run blocks until all
+// packets are emitted.
+func Run(cl Classifier, cfg Config, headers []rules.Header, emit func(Result)) (Stats, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return Stats{}, err
+	}
+	type job struct {
+		seq uint64
+		h   rules.Header
+	}
+	jobs := make(chan job, cfg.QueueDepth)
+	results := make(chan Result, cfg.QueueDepth)
+
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				results <- Result{Seq: j.seq, Header: j.h, Match: cl.Classify(j.h)}
+			}
+		}()
+	}
+	go func() {
+		for i, h := range headers {
+			jobs <- job{seq: uint64(i), h: h}
+		}
+		close(jobs)
+		wg.Wait()
+		close(results)
+	}()
+
+	st := Stats{}
+	if !cfg.PreserveOrder {
+		for r := range results {
+			emit(r)
+			st.Packets++
+		}
+		return st, nil
+	}
+	// Reorder stage: hold completed results until their predecessors
+	// arrive, exactly like a sequence-numbered transmit stage on the NP.
+	pending := make(map[uint64]Result)
+	next := uint64(0)
+	for r := range results {
+		pending[r.Seq] = r
+		if len(pending) > st.MaxReorder {
+			st.MaxReorder = len(pending)
+		}
+		for {
+			out, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			emit(out)
+			st.Packets++
+			next++
+		}
+	}
+	if len(pending) != 0 {
+		return st, fmt.Errorf("engine: %d results stranded in the reorder buffer", len(pending))
+	}
+	return st, nil
+}

@@ -1,0 +1,413 @@
+// Package expcuts implements Explicit Cuttings (ExpCuts), the paper's core
+// contribution: a decision-tree packet classifier optimized for multi-core
+// network processors.
+//
+// ExpCuts departs from HiCuts in two ways (§4.2.1):
+//
+//  1. Fixed stride. Every internal node cuts its sub-space into exactly 2^w
+//     equal cells, consuming the next w bits of the 104-bit concatenated
+//     header key (srcIP ‖ dstIP ‖ srcPort ‖ dstPort ‖ proto). The tree
+//     depth is therefore exactly ⌈104/w⌉ — an *explicit* worst-case bound
+//     on per-packet memory accesses, the metric that matters at line rate.
+//
+//  2. No linear search. Cutting continues until every sub-space is fully
+//     resolved: a node becomes a leaf when no rule intersects it, or when
+//     the highest-priority intersecting rule covers the whole sub-space
+//     (that rule then beats every other intersecting rule at every point
+//     inside, so it is the match). This is binth = 1 in HiCuts terms.
+//
+// Both changes explode memory, which the hierarchical space aggregation of
+// §4.2.2 wins back: child pointer arrays are compressed with a Hierarchical
+// Aggregation Bit String (HABS, internal/bitstring) and sub-spaces with
+// identical relative rule geometry share one child node.
+package expcuts
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/bitstring"
+	"repro/internal/memlayout"
+	"repro/internal/rules"
+)
+
+// Config parameterizes tree construction.
+type Config struct {
+	// StrideW is w: every internal node has 2^w children. It must divide
+	// the width of every header field, i.e. be one of 1, 2, 4, 8.
+	// The paper uses 8.
+	StrideW uint
+	// HabsV is v: the HABS has 2^v bits. Must satisfy v <= StrideW and
+	// v <= bitstring.MaxV. The paper uses 4 (a 16-bit HABS).
+	HabsV uint
+	// Sharing selects how aggressively sub-spaces with identical relative
+	// rule geometry share child nodes; see SharingMode.
+	Sharing SharingMode
+	// MaxNodes aborts construction beyond this many unique nodes
+	// (default 4 Mi) instead of exhausting memory.
+	MaxNodes int
+	// Channels is the number of SRAM channels for serialization (1..4).
+	Channels int
+	// Headroom weights the level-to-channel allocation.
+	Headroom memlayout.Headroom
+}
+
+// SharingMode selects the node-sharing policy, the subject of the sharing
+// ablation.
+type SharingMode int
+
+const (
+	// ShareGlobal (the default, and what ExpCuts does) deduplicates
+	// sub-spaces with equal signatures anywhere in the tree.
+	ShareGlobal SharingMode = iota
+	// ShareSiblings deduplicates only among the 2^w children of one node
+	// — the pointer aggregation HiCuts performs (Figure 2 of the paper).
+	ShareSiblings
+	// ShareNone builds the fully expanded tree. With fixed-stride cutting
+	// a single wildcard dimension multiplies the expansion by 2^w per
+	// level, so this is infeasible beyond toy rule sets; it exists to
+	// demonstrate exactly that (the MaxNodes budget makes it fail
+	// cleanly).
+	ShareNone
+)
+
+// String names the sharing mode.
+func (m SharingMode) String() string {
+	switch m {
+	case ShareGlobal:
+		return "global"
+	case ShareSiblings:
+		return "siblings"
+	case ShareNone:
+		return "none"
+	}
+	return fmt.Sprintf("SharingMode(%d)", int(m))
+}
+
+// DefaultConfig matches the paper: w = 8 (256 cuts), 16-bit HABS, global
+// sharing, four SRAM channels.
+func DefaultConfig() Config {
+	return Config{
+		StrideW:  8,
+		HabsV:    4,
+		Sharing:  ShareGlobal,
+		MaxNodes: 4 << 20,
+		Channels: memlayout.NumChannels,
+		Headroom: memlayout.UniformHeadroom,
+	}
+}
+
+func (c *Config) fillDefaults() error {
+	d := DefaultConfig()
+	if c.StrideW == 0 {
+		c.StrideW = d.StrideW
+	}
+	if c.HabsV == 0 && c.StrideW > 0 {
+		c.HabsV = d.HabsV
+		if c.HabsV > c.StrideW {
+			c.HabsV = c.StrideW
+		}
+	}
+	if c.Sharing < ShareGlobal || c.Sharing > ShareNone {
+		return fmt.Errorf("expcuts: invalid sharing mode %d", c.Sharing)
+	}
+	if c.MaxNodes == 0 {
+		c.MaxNodes = d.MaxNodes
+	}
+	if c.Channels == 0 {
+		c.Channels = d.Channels
+	}
+	if c.Headroom == (memlayout.Headroom{}) {
+		c.Headroom = d.Headroom
+	}
+	switch c.StrideW {
+	case 1, 2, 4, 8:
+	default:
+		return fmt.Errorf("expcuts: stride w=%d must divide every field width (1, 2, 4 or 8)", c.StrideW)
+	}
+	if c.HabsV > c.StrideW || c.HabsV > bitstring.MaxV {
+		return fmt.Errorf("expcuts: HABS v=%d must satisfy v <= w=%d and v <= %d",
+			c.HabsV, c.StrideW, bitstring.MaxV)
+	}
+	if c.Channels < 1 || c.Channels > memlayout.NumChannels {
+		return fmt.Errorf("expcuts: channels %d out of [1,%d]", c.Channels, memlayout.NumChannels)
+	}
+	return nil
+}
+
+// ref is a child reference inside the in-memory tree:
+//
+//	>= 0  index into Tree.nodes
+//	  -1  no-match leaf
+//	<= -2 rule leaf, rule index = -(ref+2)
+type ref = int32
+
+const refNoMatch ref = -1
+
+func refLeaf(ruleIdx int) ref { return ref(-(ruleIdx + 2)) }
+
+func refRule(r ref) int { return int(-r - 2) }
+
+// node is one internal tree node: 2^w child references. The node's level
+// (bit position / w) is implied by where it sits in the level index.
+type node struct {
+	level int
+	ptrs  []ref
+}
+
+// BuildStats reports the tree-shape numbers behind Figure 6 and §6.3.
+type BuildStats struct {
+	// Nodes is the number of unique internal nodes.
+	Nodes int
+	// NodesPerLevel counts unique internal nodes at each tree level.
+	NodesPerLevel []int
+	// Depth is the explicit tree depth ⌈104/w⌉.
+	Depth int
+	// AvgUniqueChildren is the mean number of distinct children per
+	// internal node (the paper observes < 10 at 256 cuts, §4.2.2).
+	AvgUniqueChildren float64
+	// MemoryWordsAggregated is the SRAM footprint with HABS/CPA
+	// compression; MemoryWordsFull is the footprint with full 2^w
+	// pointer arrays (the "without aggregation" bar of Figure 6).
+	MemoryWordsAggregated, MemoryWordsFull int
+	// WorstCaseAccesses is the explicit per-lookup SRAM command bound:
+	// two single-word accesses per level (HABS word, CPA pointer).
+	WorstCaseAccesses int
+}
+
+// Tree is a built ExpCuts classifier.
+type Tree struct {
+	cfg   Config
+	rs    *rules.RuleSet
+	nodes []*node
+	root  ref
+	stats BuildStats
+
+	image     *memlayout.Image
+	rootPtr   uint32
+	nodeAddrs []uint32 // per node: pointer word (channel+offset encoded)
+}
+
+// builder carries construction state.
+type builder struct {
+	t    *Tree
+	memo map[string]ref // global memo (ShareGlobal only)
+	sig  []byte
+	mode SharingMode
+}
+
+// New builds an ExpCuts tree over the rule set and serializes it.
+func New(rs *rules.RuleSet, cfg Config) (*Tree, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	if err := rs.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Tree{cfg: cfg, rs: rs}
+	b := &builder{t: t, mode: cfg.Sharing}
+	if b.mode == ShareGlobal {
+		b.memo = make(map[string]ref)
+	}
+	all := make([]int32, rs.Len())
+	for i := range all {
+		all[i] = int32(i)
+	}
+	root, err := b.build(0, rules.FullBox(), all, b.memo)
+	if err != nil {
+		return nil, err
+	}
+	t.root = root
+	t.collectStats()
+	if err := t.serialize(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// build constructs the sub-tree for the box starting at key bit position
+// pos, holding ruleIdx (priority order, all intersecting box). memo is the
+// sharing scope this node participates in: the global map (ShareGlobal), a
+// map shared with its siblings only (ShareSiblings), or nil (ShareNone).
+func (b *builder) build(pos uint, box rules.Box, ruleIdx []int32, memo map[string]ref) (ref, error) {
+	t := b.t
+	// Rule overlap pruning: a rule covering the whole box shadows all
+	// lower-priority rules.
+	for k, ri := range ruleIdx {
+		if t.rs.Rules[ri].Box().Covers(box) {
+			ruleIdx = ruleIdx[:k+1]
+			break
+		}
+	}
+	if len(ruleIdx) == 0 {
+		return refNoMatch, nil
+	}
+	top := ruleIdx[0]
+	// Leaf when the sub-space is fully resolved: the highest-priority
+	// intersecting rule covers it (then it wins everywhere inside), or
+	// all 104 bits are consumed (the box is a single point, which every
+	// remaining rule covers).
+	if pos >= rules.KeyBits || t.rs.Rules[top].Box().Covers(box) {
+		return refLeaf(int(top)), nil
+	}
+
+	var key string
+	if memo != nil {
+		key = b.signature(pos, box, ruleIdx)
+		if r, ok := memo[key]; ok {
+			return r, nil
+		}
+	}
+
+	w := t.cfg.StrideW
+	dim := dimOfBit(pos)
+	cells := 1 << w
+	log2cw := uint(rules.DimBits[dim]) - (pos - rules.DimOffset[dim]) - w
+
+	// Distribute rules to cells along dim.
+	cellRules := make([][]int32, cells)
+	boxLo := box[dim].Lo
+	for _, ri := range ruleIdx {
+		clip, ok := t.rs.Rules[ri].Span(dim).Intersect(box[dim])
+		if !ok {
+			continue
+		}
+		lo := int(uint64(clip.Lo-boxLo) >> log2cw)
+		hi := int(uint64(clip.Hi-boxLo) >> log2cw)
+		for c := lo; c <= hi; c++ {
+			cellRules[c] = append(cellRules[c], ri)
+		}
+	}
+
+	childMemo := memo // ShareGlobal: one map for the whole tree
+	if b.mode == ShareSiblings {
+		childMemo = make(map[string]ref)
+	}
+	n := &node{level: int(pos / w), ptrs: make([]ref, cells)}
+	for c := 0; c < cells; c++ {
+		cellBox := box
+		cellBox[dim] = rules.Span{
+			Lo: boxLo + uint32(uint64(c)<<log2cw),
+			Hi: boxLo + uint32(uint64(c+1)<<log2cw) - 1,
+		}
+		child, err := b.build(pos+w, cellBox, cellRules[c], childMemo)
+		if err != nil {
+			return 0, err
+		}
+		n.ptrs[c] = child
+	}
+	if len(t.nodes) >= t.cfg.MaxNodes {
+		return 0, fmt.Errorf("expcuts: node budget %d exhausted (rule set %q, w=%d, sharing %v)",
+			t.cfg.MaxNodes, t.rs.Name, w, b.mode)
+	}
+	id := ref(len(t.nodes))
+	t.nodes = append(t.nodes, n)
+	if memo != nil {
+		memo[key] = id
+	}
+	return id, nil
+}
+
+// signature produces the sharing key for a sub-space: the bit position plus
+// each intersecting rule's identity and box-relative clipped geometry. Two
+// sub-spaces with equal signatures have identical sub-trees: all boxes at
+// one bit position are translates of the same shape, lookups index children
+// by key-bit extraction (box-independent), and the relative geometry fixes
+// every later cut decision.
+func (b *builder) signature(pos uint, box rules.Box, ruleIdx []int32) string {
+	sig := b.sig[:0]
+	sig = binary.AppendUvarint(sig, uint64(pos))
+	for _, ri := range ruleIdx {
+		sig = binary.AppendUvarint(sig, uint64(ri))
+		for d := 0; d < rules.NumDims; d++ {
+			clip, _ := b.t.rs.Rules[ri].Span(rules.Dim(d)).Intersect(box[d])
+			sig = binary.AppendUvarint(sig, uint64(clip.Lo-box[d].Lo))
+			sig = binary.AppendUvarint(sig, uint64(clip.Hi-box[d].Lo))
+		}
+	}
+	b.sig = sig
+	return string(sig)
+}
+
+// dimOfBit returns the dimension owning key bit position pos.
+func dimOfBit(pos uint) rules.Dim {
+	for d := 0; d < rules.NumDims; d++ {
+		if pos < rules.DimOffset[d]+rules.DimBits[d] {
+			return rules.Dim(d)
+		}
+	}
+	panic(fmt.Sprintf("expcuts: bit position %d beyond key", pos))
+}
+
+// Classify walks the in-memory tree: the native (untraced) lookup.
+func (t *Tree) Classify(h rules.Header) int {
+	k := h.Key()
+	w := t.cfg.StrideW
+	r := t.root
+	pos := uint(0)
+	for r >= 0 {
+		chunk := k.Bits(pos, w)
+		r = t.nodes[r].ptrs[chunk]
+		pos += w
+	}
+	if r == refNoMatch {
+		return -1
+	}
+	return refRule(r)
+}
+
+// Name identifies the algorithm in reports.
+func (t *Tree) Name() string { return "ExpCuts" }
+
+// Stats returns build statistics.
+func (t *Tree) Stats() BuildStats { return t.stats }
+
+// MemoryBytes returns the aggregated (HABS/CPA) serialized footprint.
+func (t *Tree) MemoryBytes() int { return t.image.TotalBytes() }
+
+// Image exposes the serialized SRAM image.
+func (t *Tree) Image() *memlayout.Image { return t.image }
+
+// Depth returns the explicit tree depth ⌈104/w⌉.
+func (t *Tree) Depth() int { return int((rules.KeyBits + t.cfg.StrideW - 1) / t.cfg.StrideW) }
+
+func (t *Tree) collectStats() {
+	st := &t.stats
+	st.Depth = t.Depth()
+	st.NodesPerLevel = make([]int, st.Depth)
+	st.Nodes = len(t.nodes)
+	st.WorstCaseAccesses = 2 * st.Depth
+	uniqueTotal := 0
+	cells := 1 << t.cfg.StrideW
+	sub := 1 << (t.cfg.StrideW - t.cfg.HabsV)
+	for _, n := range t.nodes {
+		st.NodesPerLevel[n.level]++
+		distinct := make(map[ref]bool, 8)
+		for _, p := range n.ptrs {
+			distinct[p] = true
+		}
+		uniqueTotal += len(distinct)
+		// Aggregated: 1 HABS word + one 2^u-pointer sub-array per set bit.
+		subArrays := 1
+		for i := sub; i < cells; i += sub {
+			if !equalRefs(n.ptrs[i-sub:i], n.ptrs[i:i+sub]) {
+				subArrays++
+			}
+		}
+		st.MemoryWordsAggregated += 1 + subArrays*sub
+		// Full: the raw 2^w pointer array.
+		st.MemoryWordsFull += cells
+	}
+	if st.Nodes > 0 {
+		st.AvgUniqueChildren = float64(uniqueTotal) / float64(st.Nodes)
+	}
+}
+
+func equalRefs(a, b []ref) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,376 @@
+package expcuts
+
+import (
+	"testing"
+
+	"repro/internal/pktgen"
+	"repro/internal/rulegen"
+	"repro/internal/rules"
+)
+
+func buildSet(t *testing.T, kind rulegen.Kind, size int, seed int64) *rules.RuleSet {
+	t.Helper()
+	rs, err := rulegen.Generate(rulegen.Config{Kind: kind, Size: size, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rs
+}
+
+func trace(t *testing.T, rs *rules.RuleSet, n int, seed int64) []rules.Header {
+	t.Helper()
+	tr, err := pktgen.Generate(rs, pktgen.Config{Count: n, Seed: seed, MatchFraction: 0.85})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr.Headers
+}
+
+func TestClassifyMatchesOracle(t *testing.T) {
+	for _, tc := range []struct {
+		kind rulegen.Kind
+		size int
+	}{
+		{rulegen.Firewall, 85},
+		{rulegen.Firewall, 310},
+		{rulegen.CoreRouter, 300},
+		{rulegen.Random, 60},
+	} {
+		rs := buildSet(t, tc.kind, tc.size, 61)
+		tree, err := New(rs, Config{})
+		if err != nil {
+			t.Fatalf("%v/%d: %v", tc.kind, tc.size, err)
+		}
+		for _, h := range trace(t, rs, 2000, 62) {
+			if got, want := tree.Classify(h), rs.Match(h); got != want {
+				t.Fatalf("%v/%d: Classify(%v) = %d, oracle = %d", tc.kind, tc.size, h, got, want)
+			}
+		}
+	}
+}
+
+func TestAllStridesMatchOracle(t *testing.T) {
+	rs := buildSet(t, rulegen.Firewall, 120, 63)
+	headers := trace(t, rs, 800, 64)
+	for _, w := range []uint{1, 2, 4, 8} {
+		tree, err := New(rs, Config{StrideW: w})
+		if err != nil {
+			t.Fatalf("w=%d: %v", w, err)
+		}
+		if got, want := tree.Depth(), int(104/w); got != want {
+			t.Errorf("w=%d: depth %d, want %d", w, got, want)
+		}
+		for _, h := range headers {
+			if got, want := tree.Classify(h), rs.Match(h); got != want {
+				t.Fatalf("w=%d: Classify(%v) = %d, oracle = %d", w, h, got, want)
+			}
+		}
+		if err := tree.Verify(headers[:200]); err != nil {
+			t.Fatalf("w=%d: %v", w, err)
+		}
+	}
+}
+
+func TestHabsVariants(t *testing.T) {
+	rs := buildSet(t, rulegen.CoreRouter, 150, 65)
+	headers := trace(t, rs, 500, 66)
+	for _, v := range []uint{1, 2, 4, 5} {
+		tree, err := New(rs, Config{StrideW: 8, HabsV: v})
+		if err != nil {
+			t.Fatalf("v=%d: %v", v, err)
+		}
+		if err := tree.Verify(headers); err != nil {
+			t.Fatalf("v=%d: %v", v, err)
+		}
+	}
+}
+
+func TestSerializedLookupMatchesNative(t *testing.T) {
+	rs := buildSet(t, rulegen.CoreRouter, 400, 67)
+	tree, err := New(rs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Verify(trace(t, rs, 3000, 68)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFullTreeMatchesAggregated(t *testing.T) {
+	rs := buildSet(t, rulegen.Firewall, 150, 69)
+	tree, err := New(rs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := tree.Full()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range trace(t, rs, 1000, 70) {
+		want := tree.Classify(h)
+		p := full.Program(h)
+		if p.Result != want {
+			t.Fatalf("full lookup %d != native %d for %v", p.Result, want, h)
+		}
+		// Full variant: exactly one access per level walked, all 1 word.
+		if p.Accesses() > tree.Depth() {
+			t.Fatalf("full lookup used %d accesses, depth %d", p.Accesses(), tree.Depth())
+		}
+	}
+}
+
+func TestAggregationShrinksMemory(t *testing.T) {
+	rs := buildSet(t, rulegen.CoreRouter, 300, 71)
+	tree, err := New(rs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := tree.Stats()
+	if st.MemoryWordsAggregated >= st.MemoryWordsFull {
+		t.Errorf("aggregated %d words >= full %d words; HABS should compress",
+			st.MemoryWordsAggregated, st.MemoryWordsFull)
+	}
+	ratio := float64(st.MemoryWordsAggregated) / float64(st.MemoryWordsFull)
+	if ratio > 0.6 {
+		t.Errorf("aggregation ratio %.2f; paper reports ~0.15", ratio)
+	}
+	// The stats estimate must equal the real serialized image.
+	if st.MemoryWordsAggregated != tree.Image().TotalWords() {
+		t.Errorf("stats words %d != image words %d", st.MemoryWordsAggregated, tree.Image().TotalWords())
+	}
+	full, err := tree.Full()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MemoryWordsFull != full.Image().TotalWords() {
+		t.Errorf("stats full words %d != full image words %d", st.MemoryWordsFull, full.Image().TotalWords())
+	}
+}
+
+func TestSparseChildren(t *testing.T) {
+	// §4.2.2/§6.3: with 256 cuts the average number of distinct children
+	// per node is small (the paper observes < 10).
+	rs := buildSet(t, rulegen.CoreRouter, 500, 72)
+	tree, err := New(rs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg := tree.Stats().AvgUniqueChildren; avg >= 16 {
+		t.Errorf("average unique children = %.1f, want the paper's sparse regime", avg)
+	}
+}
+
+func TestExplicitWorstCaseBound(t *testing.T) {
+	rs := buildSet(t, rulegen.CoreRouter, 350, 73)
+	tree, err := New(rs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := tree.Stats().WorstCaseAccesses
+	if bound != 2*13 {
+		t.Fatalf("worst-case bound = %d, want 26 for w=8", bound)
+	}
+	for _, h := range trace(t, rs, 2000, 74) {
+		p := tree.Program(h)
+		if p.Accesses() > bound {
+			t.Fatalf("program used %d accesses, explicit bound %d", p.Accesses(), bound)
+		}
+		for _, s := range p.Steps {
+			if s.Words != 1 {
+				t.Fatalf("ExpCuts access of %d words; every access must be single-word", s.Words)
+			}
+		}
+	}
+}
+
+func TestSharingAblation(t *testing.T) {
+	rs := buildSet(t, rulegen.Firewall, 100, 75)
+	sib, err := New(rs, Config{Sharing: ShareSiblings})
+	if err != nil {
+		t.Fatal(err)
+	}
+	global, err := New(rs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if global.Stats().Nodes >= sib.Stats().Nodes {
+		t.Errorf("global sharing: %d nodes, sibling-only: %d nodes — global should shrink the tree",
+			global.Stats().Nodes, sib.Stats().Nodes)
+	}
+	// Both must classify identically.
+	for _, h := range trace(t, rs, 800, 76) {
+		if global.Classify(h) != sib.Classify(h) {
+			t.Fatalf("sharing mode changed classification for %v", h)
+		}
+	}
+}
+
+func TestShareNoneIsInfeasibleBeyondToySets(t *testing.T) {
+	// ShareNone still works for exact-match rules (each level narrows to
+	// one live cell, so the expansion stays linear)...
+	exact := func(src, dst uint32, dp uint16) rules.Rule {
+		return rules.Rule{
+			SrcIP:   rules.Prefix{Addr: src, Len: 32},
+			DstIP:   rules.Prefix{Addr: dst, Len: 32},
+			SrcPort: rules.PortRange{Lo: 7, Hi: 7},
+			DstPort: rules.PortRange{Lo: dp, Hi: dp},
+			Proto:   rules.ProtoMatch{Value: rules.ProtoTCP},
+		}
+	}
+	rs := rules.NewRuleSet("points", []rules.Rule{
+		exact(0x0A000001, 0x0B000001, 80),
+		exact(0x0A000002, 0x0B000002, 443),
+		exact(0xC0A80101, 0x08080808, 53),
+	})
+	tree, err := New(rs, Config{Sharing: ShareNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit := rules.Header{SrcIP: 0x0A000002, DstIP: 0x0B000002, SrcPort: 7, DstPort: 443, Proto: rules.ProtoTCP}
+	if got := tree.Classify(hit); got != 1 {
+		t.Fatalf("ShareNone Classify = %d, want 1", got)
+	}
+	for _, h := range trace(t, rs, 200, 83) {
+		if got, want := tree.Classify(h), rs.Match(h); got != want {
+			t.Fatalf("ShareNone Classify(%v) = %d, oracle %d", h, got, want)
+		}
+	}
+	if err := tree.Verify([]rules.Header{hit}); err != nil {
+		t.Fatal(err)
+	}
+	// ...but a realistic firewall set exhausts any sane node budget: the
+	// wildcard dimensions multiply the expansion (this is why aggregation
+	// is the core of the paper).
+	fw := buildSet(t, rulegen.Firewall, 50, 84)
+	if _, err := New(fw, Config{Sharing: ShareNone, MaxNodes: 1 << 16}); err == nil {
+		t.Error("ShareNone on a firewall set should exhaust the node budget")
+	}
+}
+
+func TestChannelRestriction(t *testing.T) {
+	rs := buildSet(t, rulegen.Firewall, 90, 77)
+	for channels := 1; channels <= 4; channels++ {
+		tree, err := New(rs, Config{Channels: channels})
+		if err != nil {
+			t.Fatal(err)
+		}
+		words := tree.Image().ChannelWords()
+		for c := channels; c < len(words); c++ {
+			if words[c] != 0 {
+				t.Errorf("channels=%d: channel %d has %d words", channels, c, words[c])
+			}
+		}
+		if err := tree.Verify(trace(t, rs, 300, 78)); err != nil {
+			t.Fatalf("channels=%d: %v", channels, err)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	rs := buildSet(t, rulegen.Firewall, 20, 79)
+	bad := []Config{
+		{StrideW: 3},           // does not divide field widths
+		{StrideW: 16},          // straddles the proto field
+		{StrideW: 2, HabsV: 3}, // v > w
+		{Channels: 7},
+	}
+	for i, cfg := range bad {
+		if _, err := New(rs, cfg); err == nil {
+			t.Errorf("config %d should be rejected", i)
+		}
+	}
+}
+
+func TestMaxNodesCap(t *testing.T) {
+	rs := buildSet(t, rulegen.CoreRouter, 200, 80)
+	if _, err := New(rs, Config{MaxNodes: 5}); err == nil {
+		t.Error("tiny node budget should fail construction")
+	}
+}
+
+func TestSingleRuleTrees(t *testing.T) {
+	// A single wildcard rule: the root itself resolves to a leaf.
+	rs := rules.NewRuleSet("wild", []rules.Rule{
+		{SrcPort: rules.FullPortRange, DstPort: rules.FullPortRange, Proto: rules.AnyProto},
+	})
+	tree, err := New(rs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Stats().Nodes != 0 {
+		t.Errorf("wildcard rule built %d nodes, want 0", tree.Stats().Nodes)
+	}
+	if got := tree.Classify(rules.Header{SrcIP: 1}); got != 0 {
+		t.Errorf("Classify = %d, want 0", got)
+	}
+	p := tree.Program(rules.Header{})
+	if p.Accesses() != 0 || p.Result != 0 {
+		t.Errorf("leaf-root program: %v", &p)
+	}
+
+	// A single narrow rule: deep chain, both outcomes correct.
+	rs2 := rules.NewRuleSet("host", []rules.Rule{
+		{
+			SrcIP:   rules.Prefix{Addr: 0x0A010203, Len: 32},
+			DstIP:   rules.Prefix{Addr: 0x0B040506, Len: 32},
+			SrcPort: rules.PortRange{Lo: 1000, Hi: 1000},
+			DstPort: rules.PortRange{Lo: 80, Hi: 80},
+			Proto:   rules.ProtoMatch{Value: rules.ProtoTCP},
+		},
+	})
+	tree2, err := New(rs2, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit := rules.Header{SrcIP: 0x0A010203, DstIP: 0x0B040506, SrcPort: 1000, DstPort: 80, Proto: rules.ProtoTCP}
+	if got := tree2.Classify(hit); got != 0 {
+		t.Errorf("exact hit = %d, want 0", got)
+	}
+	miss := hit
+	miss.DstPort = 81
+	if got := tree2.Classify(miss); got != -1 {
+		t.Errorf("near miss = %d, want -1", got)
+	}
+	if err := tree2.Verify([]rules.Header{hit, miss}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDuplicateRulesResolveToHighestPriority(t *testing.T) {
+	r := rules.Rule{
+		SrcIP:   rules.Prefix{Addr: 0x0A000000, Len: 8},
+		SrcPort: rules.FullPortRange,
+		DstPort: rules.FullPortRange,
+		Proto:   rules.AnyProto,
+	}
+	rs := rules.NewRuleSet("dups", []rules.Rule{r, r, r})
+	tree, err := New(rs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tree.Classify(rules.Header{SrcIP: 0x0A000001}); got != 0 {
+		t.Errorf("Classify = %d, want 0", got)
+	}
+}
+
+func TestRandomRuleSetsProperty(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		rs, err := rulegen.Generate(rulegen.Config{Kind: rulegen.Random, Size: 40, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tree, err := New(rs, Config{StrideW: 4})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		headers := trace(t, rs, 400, seed+300)
+		for _, h := range headers {
+			if got, want := tree.Classify(h), rs.Match(h); got != want {
+				t.Fatalf("seed %d: Classify(%v) = %d, oracle %d", seed, h, got, want)
+			}
+		}
+		if err := tree.Verify(headers); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}

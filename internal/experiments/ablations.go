@@ -1,0 +1,358 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/expcuts"
+	"repro/internal/hicuts"
+	"repro/internal/hsm"
+	"repro/internal/hypercuts"
+	"repro/internal/linear"
+	"repro/internal/memlayout"
+	"repro/internal/nptrace"
+	"repro/internal/rfc"
+	"repro/internal/rules"
+)
+
+// newHSM builds the HSM classifier with defaults.
+func newHSM(rs *rules.RuleSet) (*hsm.Classifier, error) {
+	return hsm.New(rs, hsm.Config{})
+}
+
+// StrideRow is one point of the stride ablation: the w of 2^w cuts per
+// node trades tree depth (and so the explicit access bound) against memory.
+type StrideRow struct {
+	StrideW        uint
+	Depth          int
+	WorstAccesses  int
+	MemoryBytes    int
+	ThroughputMbps float64
+}
+
+// AblationStride sweeps w ∈ {2, 4, 8} on CR02 (§4.2.1: the paper fixes
+// w = 8; smaller strides save memory but deepen the tree).
+func AblationStride(ctx Context) ([]StrideRow, error) {
+	ctx.fillDefaults()
+	rs, err := ruleSetByName("CR02")
+	if err != nil {
+		return nil, err
+	}
+	headers, err := ctx.headers(rs)
+	if err != nil {
+		return nil, err
+	}
+	var rows []StrideRow
+	for _, w := range []uint{2, 4, 8} {
+		v := w
+		if v > 4 {
+			v = 4
+		}
+		tree, err := expcuts.New(rs, expcuts.Config{StrideW: w, HabsV: v, Headroom: memlayout.PaperHeadroom})
+		if err != nil {
+			return nil, fmt.Errorf("stride %d: %w", w, err)
+		}
+		r, err := ctx.simulate(programs(tree, headers))
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, StrideRow{
+			StrideW:        w,
+			Depth:          tree.Depth(),
+			WorstAccesses:  tree.Stats().WorstCaseAccesses,
+			MemoryBytes:    tree.MemoryBytes(),
+			ThroughputMbps: r.ThroughputMbps,
+		})
+	}
+	return rows, nil
+}
+
+// RenderAblationStride formats the stride ablation.
+func RenderAblationStride(rows []StrideRow) string {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{
+			fmt.Sprint(r.StrideW), fmt.Sprint(r.Depth), fmt.Sprint(r.WorstAccesses),
+			mb(r.MemoryBytes), fmt.Sprintf("%.0f", r.ThroughputMbps),
+		}
+	}
+	return "Ablation — stride w (CR02): depth/memory/throughput trade\n" +
+		renderTable([]string{"w", "depth", "worstAcc", "mem(MB)", "Mbps"}, out)
+}
+
+// HABSRow is one point of the HABS-width ablation.
+type HABSRow struct {
+	HabsV       uint
+	MemoryBytes int
+}
+
+// AblationHABS sweeps the HABS exponent v on CR02 at w = 8 (§4.2.2: the
+// paper packs a 16-bit HABS, v = 4, into the node word; wider strings
+// track runs more precisely and store fewer duplicate sub-arrays).
+func AblationHABS(ctx Context) ([]HABSRow, error) {
+	ctx.fillDefaults()
+	rs, err := ruleSetByName("CR02")
+	if err != nil {
+		return nil, err
+	}
+	var rows []HABSRow
+	for _, v := range []uint{1, 2, 4, 5} {
+		tree, err := expcuts.New(rs, expcuts.Config{StrideW: 8, HabsV: v, Headroom: memlayout.PaperHeadroom})
+		if err != nil {
+			return nil, fmt.Errorf("habs v=%d: %w", v, err)
+		}
+		rows = append(rows, HABSRow{HabsV: v, MemoryBytes: tree.MemoryBytes()})
+	}
+	return rows, nil
+}
+
+// RenderAblationHABS formats the HABS ablation.
+func RenderAblationHABS(rows []HABSRow) string {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{fmt.Sprint(r.HabsV), fmt.Sprint(1 << r.HabsV), mb(r.MemoryBytes)}
+	}
+	return "Ablation — HABS width v (CR02, w=8): aggregated memory\n" +
+		renderTable([]string{"v", "bits", "mem(MB)"}, out)
+}
+
+// PopCountRow compares the hardware POP_COUNT instruction against RISC
+// emulation (§5.4).
+type PopCountRow struct {
+	Variant        string
+	CyclesPerOp    uint32
+	ThroughputMbps float64
+}
+
+// AblationPopCount runs the same ExpCuts lookup under the two
+// instruction-selection variants.
+func AblationPopCount(ctx Context) ([]PopCountRow, error) {
+	ctx.fillDefaults()
+	rs, err := ruleSetByName("CR04")
+	if err != nil {
+		return nil, err
+	}
+	tree, err := expcuts.New(rs, expcuts.Config{Headroom: memlayout.PaperHeadroom})
+	if err != nil {
+		return nil, err
+	}
+	headers, err := ctx.headers(rs)
+	if err != nil {
+		return nil, err
+	}
+	var rows []PopCountRow
+	for _, variant := range []struct {
+		name  string
+		costs nptrace.Costs
+	}{
+		{"POP_COUNT (hardware)", nptrace.DefaultCosts},
+		{"RISC emulation", riscCosts()},
+	} {
+		progs := make([]nptrace.Program, len(headers))
+		for i, h := range headers {
+			progs[i] = tree.ProgramCosts(h, variant.costs)
+		}
+		r, err := ctx.simulate(progs)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, PopCountRow{
+			Variant:        variant.name,
+			CyclesPerOp:    variant.costs.PopCount,
+			ThroughputMbps: r.ThroughputMbps,
+		})
+	}
+	return rows, nil
+}
+
+func riscCosts() nptrace.Costs {
+	c := nptrace.DefaultCosts
+	c.PopCount = c.PopCountRISC
+	return c
+}
+
+// RenderAblationPopCount formats the POP_COUNT ablation.
+func RenderAblationPopCount(rows []PopCountRow) string {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{r.Variant, fmt.Sprint(r.CyclesPerOp), fmt.Sprintf("%.0f", r.ThroughputMbps)}
+	}
+	return "Ablation — POP_COUNT instruction vs RISC emulation (CR04)\n" +
+		renderTable([]string{"variant", "cycles/op", "Mbps"}, out)
+}
+
+// BinthRow is one point of the HiCuts binth sweep.
+type BinthRow struct {
+	Binth          int
+	MemoryBytes    int
+	MaxLeafRules   int
+	ThroughputMbps float64
+}
+
+// AblationBinth sweeps HiCuts binth ∈ {1, 2, 4, 8, 16} on FW02 (§6.6
+// motivates ExpCuts as the binth → 1 limit; small binth needs overlap
+// pruning to stay buildable).
+func AblationBinth(ctx Context) ([]BinthRow, error) {
+	ctx.fillDefaults()
+	rs, err := ruleSetByName("FW02")
+	if err != nil {
+		return nil, err
+	}
+	headers, err := ctx.headers(rs)
+	if err != nil {
+		return nil, err
+	}
+	var rows []BinthRow
+	for _, binth := range []int{1, 2, 4, 8, 16} {
+		tree, err := hicuts.New(rs, hicuts.Config{
+			Binth:        binth,
+			PruneCovered: binth <= 2,
+			Headroom:     memlayout.PaperHeadroom,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("binth %d: %w", binth, err)
+		}
+		r, err := ctx.simulate(programs(tree, headers))
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, BinthRow{
+			Binth:          binth,
+			MemoryBytes:    tree.MemoryBytes(),
+			MaxLeafRules:   tree.Stats().MaxLeafRules,
+			ThroughputMbps: r.ThroughputMbps,
+		})
+	}
+	return rows, nil
+}
+
+// RenderAblationBinth formats the binth sweep.
+func RenderAblationBinth(rows []BinthRow) string {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{
+			fmt.Sprint(r.Binth), mb(r.MemoryBytes),
+			fmt.Sprint(r.MaxLeafRules), fmt.Sprintf("%.0f", r.ThroughputMbps),
+		}
+	}
+	return "Ablation — HiCuts binth sweep (FW02)\n" +
+		renderTable([]string{"binth", "mem(MB)", "maxLeaf", "Mbps"}, out)
+}
+
+// SharingRow is one point of the node-sharing ablation.
+type SharingRow struct {
+	Mode        string
+	Nodes       int
+	MemoryBytes int
+}
+
+// AblationSharing compares global node sharing (ExpCuts) against
+// sibling-only sharing (HiCuts-style pointer aggregation) on FW02.
+func AblationSharing(ctx Context) ([]SharingRow, error) {
+	ctx.fillDefaults()
+	rs, err := ruleSetByName("FW02")
+	if err != nil {
+		return nil, err
+	}
+	var rows []SharingRow
+	for _, mode := range []expcuts.SharingMode{expcuts.ShareGlobal, expcuts.ShareSiblings} {
+		tree, err := expcuts.New(rs, expcuts.Config{Sharing: mode, Headroom: memlayout.PaperHeadroom})
+		if err != nil {
+			return nil, fmt.Errorf("sharing %v: %w", mode, err)
+		}
+		rows = append(rows, SharingRow{
+			Mode:        mode.String(),
+			Nodes:       tree.Stats().Nodes,
+			MemoryBytes: tree.MemoryBytes(),
+		})
+	}
+	return rows, nil
+}
+
+// RenderAblationSharing formats the sharing ablation.
+func RenderAblationSharing(rows []SharingRow) string {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{r.Mode, fmt.Sprint(r.Nodes), mb(r.MemoryBytes)}
+	}
+	return "Ablation — node sharing scope (FW02, w=8)\n" +
+		renderTable([]string{"mode", "nodes", "mem(MB)"}, out)
+}
+
+// ExtendedRow is one row of the extended comparison including RFC and
+// linear search.
+type ExtendedRow struct {
+	Algorithm      string
+	ThroughputMbps float64
+	MemoryBytes    int
+	WorstAccesses  int
+}
+
+// Extended compares all five classifiers on one rule set — the paper's
+// three, the RFC extension, and the linear-search floor.
+func Extended(ctx Context, setName string) ([]ExtendedRow, error) {
+	ctx.fillDefaults()
+	rs, err := ruleSetByName(setName)
+	if err != nil {
+		return nil, err
+	}
+	headers, err := ctx.headers(rs)
+	if err != nil {
+		return nil, err
+	}
+	ec, err := expcuts.New(rs, expcuts.Config{Headroom: memlayout.PaperHeadroom})
+	if err != nil {
+		return nil, err
+	}
+	hc, err := hicuts.New(rs, hicuts.Config{Headroom: memlayout.PaperHeadroom})
+	if err != nil {
+		return nil, err
+	}
+	hsCl, err := newHSM(rs)
+	if err != nil {
+		return nil, err
+	}
+	rf, err := rfc.New(rs, rfc.Config{})
+	if err != nil {
+		return nil, err
+	}
+	hyper, err := hypercuts.New(rs, hypercuts.Config{Headroom: memlayout.PaperHeadroom})
+	if err != nil {
+		return nil, err
+	}
+	ln := linear.New(rs)
+	worst := map[string]int{
+		"ExpCuts":   ec.Stats().WorstCaseAccesses,
+		"HiCuts":    hc.Stats().WorstCaseAccesses,
+		"HyperCuts": hyper.Stats().WorstCaseAccesses,
+		"HSM":       hsCl.Stats().WorstCaseAccesses,
+		"RFC":       rf.Stats().WorstCaseAccesses,
+		"Linear":    rs.Len(),
+	}
+	var rows []ExtendedRow
+	for _, cl := range []tracedClassifier{ec, hc, hyper, hsCl, rf, ln} {
+		r, err := ctx.simulate(programs(cl, headers))
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ExtendedRow{
+			Algorithm:      cl.Name(),
+			ThroughputMbps: r.ThroughputMbps,
+			MemoryBytes:    cl.MemoryBytes(),
+			WorstAccesses:  worst[cl.Name()],
+		})
+	}
+	return rows, nil
+}
+
+// RenderExtended formats the extended comparison.
+func RenderExtended(rows []ExtendedRow, setName string) string {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{
+			r.Algorithm, fmt.Sprintf("%.0f", r.ThroughputMbps),
+			mb(r.MemoryBytes), fmt.Sprint(r.WorstAccesses),
+		}
+	}
+	return fmt.Sprintf("Extended comparison — all classifiers on %s\n", setName) +
+		renderTable([]string{"algorithm", "Mbps", "mem(MB)", "worstAcc"}, out)
+}

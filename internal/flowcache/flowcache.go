@@ -1,0 +1,93 @@
+// Package flowcache puts an exact-match flow cache in front of a
+// classifier: the first packet of a flow takes the full lookup, subsequent
+// packets hit a bounded LRU map keyed by the 5-tuple. This is the standard
+// flow-level fast path on network processors (the paper's group explores
+// it for deep inspection in the work cited as [15]); it composes with any
+// classifier in this repository and never changes classification results —
+// it only changes their cost.
+//
+// The cache is not safe for concurrent use; give each worker its own cache
+// (per-thread caches are also what an ME implementation would do, in local
+// memory).
+package flowcache
+
+import (
+	"container/list"
+	"fmt"
+
+	"repro/internal/rules"
+)
+
+// Classifier is the slow path behind the cache.
+type Classifier interface {
+	Classify(h rules.Header) int
+}
+
+// Cache is a bounded LRU flow cache over a classifier.
+type Cache struct {
+	slow     Classifier
+	capacity int
+	entries  map[rules.Header]*list.Element
+	order    *list.List // front = most recent
+
+	hits, misses uint64
+}
+
+type entry struct {
+	key   rules.Header
+	match int
+}
+
+// New wraps the classifier with a cache of the given capacity (flows).
+func New(slow Classifier, capacity int) (*Cache, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("flowcache: capacity must be >= 1, got %d", capacity)
+	}
+	return &Cache{
+		slow:     slow,
+		capacity: capacity,
+		entries:  make(map[rules.Header]*list.Element, capacity),
+		order:    list.New(),
+	}, nil
+}
+
+// Classify returns exactly what the wrapped classifier would, consulting
+// the cache first.
+func (c *Cache) Classify(h rules.Header) int {
+	if el, ok := c.entries[h]; ok {
+		c.hits++
+		c.order.MoveToFront(el)
+		return el.Value.(*entry).match
+	}
+	c.misses++
+	match := c.slow.Classify(h)
+	if c.order.Len() >= c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*entry).key)
+	}
+	c.entries[h] = c.order.PushFront(&entry{key: h, match: match})
+	return match
+}
+
+// Invalidate empties the cache; call it after the underlying rule set
+// changes (e.g. on every update.Manager generation change).
+func (c *Cache) Invalidate() {
+	c.entries = make(map[rules.Header]*list.Element, c.capacity)
+	c.order.Init()
+}
+
+// Len returns the number of cached flows.
+func (c *Cache) Len() int { return c.order.Len() }
+
+// Stats returns hit and miss counts since creation.
+func (c *Cache) Stats() (hits, misses uint64) { return c.hits, c.misses }
+
+// HitRate returns the hit fraction (0 when nothing was classified).
+func (c *Cache) HitRate() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(total)
+}

@@ -1,0 +1,156 @@
+package flowcache
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/expcuts"
+	"repro/internal/pktgen"
+	"repro/internal/rulegen"
+	"repro/internal/rules"
+)
+
+// countingClassifier counts slow-path invocations.
+type countingClassifier struct {
+	inner interface {
+		Classify(h rules.Header) int
+	}
+	calls int
+}
+
+func (c *countingClassifier) Classify(h rules.Header) int {
+	c.calls++
+	return c.inner.Classify(h)
+}
+
+func fixtures(t *testing.T) (*rules.RuleSet, *countingClassifier) {
+	t.Helper()
+	rs, err := rulegen.Generate(rulegen.Config{Kind: rulegen.CoreRouter, Size: 120, Seed: 601})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := expcuts.New(rs, expcuts.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rs, &countingClassifier{inner: tree}
+}
+
+func TestResultsUnchanged(t *testing.T) {
+	rs, slow := fixtures(t)
+	cache, err := New(slow, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := pktgen.Generate(rs, pktgen.Config{Count: 3000, Seed: 602, MatchFraction: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Repeat each header to create flows.
+	for rep := 0; rep < 3; rep++ {
+		for _, h := range tr.Headers[:500] {
+			if got, want := cache.Classify(h), rs.Match(h); got != want {
+				t.Fatalf("cached Classify(%v) = %d, oracle %d", h, got, want)
+			}
+		}
+	}
+}
+
+func TestCacheShortCircuitsRepeats(t *testing.T) {
+	_, slow := fixtures(t)
+	cache, err := New(slow, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := rules.Header{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, Proto: rules.ProtoTCP}
+	for i := 0; i < 100; i++ {
+		cache.Classify(h)
+	}
+	if slow.calls != 1 {
+		t.Errorf("slow path called %d times, want 1", slow.calls)
+	}
+	hits, misses := cache.Stats()
+	if hits != 99 || misses != 1 {
+		t.Errorf("hits/misses = %d/%d", hits, misses)
+	}
+	if cache.HitRate() < 0.98 {
+		t.Errorf("hit rate = %v", cache.HitRate())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	_, slow := fixtures(t)
+	cache, err := New(slow, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := rules.Header{SrcIP: 1}
+	b := rules.Header{SrcIP: 2}
+	c := rules.Header{SrcIP: 3}
+	cache.Classify(a) // cache: a
+	cache.Classify(b) // cache: b a
+	cache.Classify(a) // cache: a b (a refreshed)
+	cache.Classify(c) // evicts b -> cache: c a
+	if cache.Len() != 2 {
+		t.Fatalf("Len = %d", cache.Len())
+	}
+	calls := slow.calls
+	cache.Classify(a) // hit
+	if slow.calls != calls {
+		t.Error("a should still be cached")
+	}
+	cache.Classify(b) // miss (evicted)
+	if slow.calls != calls+1 {
+		t.Error("b should have been evicted")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	_, slow := fixtures(t)
+	cache, err := New(slow, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := rules.Header{SrcIP: 9}
+	cache.Classify(h)
+	cache.Invalidate()
+	if cache.Len() != 0 {
+		t.Errorf("Len = %d after Invalidate", cache.Len())
+	}
+	calls := slow.calls
+	cache.Classify(h)
+	if slow.calls != calls+1 {
+		t.Error("invalidated entry served from cache")
+	}
+}
+
+func TestZipfTrafficHitRate(t *testing.T) {
+	// Flow-level locality: a skewed flow popularity distribution must
+	// produce a high hit rate with a modest cache — the premise of
+	// flow-level processing on NPs.
+	rs, slow := fixtures(t)
+	cache, err := New(slow, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := pktgen.Generate(rs, pktgen.Config{Count: 400, Seed: 603, MatchFraction: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows := tr.Headers
+	rng := rand.New(rand.NewSource(604))
+	zipf := rand.NewZipf(rng, 1.2, 1, uint64(len(flows)-1))
+	for i := 0; i < 50000; i++ {
+		cache.Classify(flows[zipf.Uint64()])
+	}
+	if rate := cache.HitRate(); rate < 0.9 {
+		t.Errorf("hit rate %.2f under Zipf traffic, want >= 0.9", rate)
+	}
+}
+
+func TestCapacityValidation(t *testing.T) {
+	_, slow := fixtures(t)
+	if _, err := New(slow, 0); err == nil {
+		t.Error("capacity 0 should fail")
+	}
+}

@@ -1,0 +1,167 @@
+package hicuts
+
+import (
+	"fmt"
+
+	"repro/internal/memlayout"
+	"repro/internal/nptrace"
+	"repro/internal/rules"
+	"repro/internal/ruletable"
+)
+
+// Serialized layout.
+//
+// Internal node (1 + cells words):
+//
+//	word 0:       dim(3) ‖ log2nc(5) ‖ log2cw(6) ‖ zero(18)   [bit31 clear]
+//	words 1..nc:  child pointer words (memlayout pointer encoding;
+//	              leaf pointers here address leaf *nodes*, not rules)
+//
+// Leaf node (1 + max(count, binth) words):
+//
+//	word 0:       bit31 set ‖ count(16)
+//	words 1..:    rule indices in priority order, zero-padded to at least
+//	              binth entries so the lookup can fetch the whole block
+//	              with one fixed-size burst, the way microcode does.
+//
+// Rule records live in a single shared rule table (6 words per rule,
+// ruletable encoding) on one SRAM channel, as in the era's reference
+// implementations. A leaf visit costs one fixed burst for the leaf block
+// plus one 6-word read per stored rule on the rule-table channel — the
+// paper's "binth times of memory accesses and each memory access refers to
+// 6 consecutive 32-bit words" (§6.6). The microcode issues the whole batch
+// unconditionally (no data-dependent early exit): deterministic per-packet
+// budgets are what let threads be scheduled at line rate (§3.2).
+const (
+	leafNodeFlag = uint32(1) << 31
+)
+
+func packInternal(dim rules.Dim, log2nc, log2cw uint) uint32 {
+	return uint32(dim)<<28 | uint32(log2nc)<<23 | uint32(log2cw)<<17
+}
+
+func unpackInternal(w uint32) (dim rules.Dim, log2nc, log2cw uint) {
+	return rules.Dim(w >> 28 & 0x7), uint(w >> 23 & 0x1F), uint(w >> 17 & 0x3F)
+}
+
+// serialize lays the tree out across SRAM channels: tree levels are
+// assigned to channels in proportion to bandwidth headroom (§5.3); the
+// shared rule table goes on the last configured channel.
+func (t *Tree) serialize() error {
+	levels := t.stats.MaxDepth + 1
+	alloc, err := memlayout.AllocateLevels(memlayout.UniformDemand(levels), t.cfg.Headroom, t.cfg.Channels)
+	if err != nil {
+		return err
+	}
+	t.image = memlayout.NewImage()
+	t.ruleCh = uint8(t.cfg.Channels - 1)
+	t.ruleBase = t.image.Alloc(t.ruleCh, ruletable.Encode(t.rs))
+
+	var place func(n *node, depth int) uint32
+	place = func(n *node, depth int) uint32 {
+		if n.placed {
+			return memlayout.NodePtr(n.channel, n.addr)
+		}
+		ch := alloc[depth]
+		if n.leaf {
+			slots := len(n.ruleIdx)
+			if slots < t.cfg.Binth {
+				slots = t.cfg.Binth
+			}
+			words := make([]uint32, 1+slots)
+			words[0] = leafNodeFlag | uint32(len(n.ruleIdx))
+			for i, ri := range n.ruleIdx {
+				words[1+i] = uint32(ri)
+			}
+			n.addr = t.image.Alloc(ch, words)
+			n.channel = ch
+			n.placed = true
+			return memlayout.NodePtr(ch, n.addr)
+		}
+		nc := len(n.children)
+		n.addr = t.image.Reserve(ch, 1+nc)
+		n.channel = ch
+		n.placed = true
+		t.image.Set(ch, n.addr, packInternal(n.dim, n.log2nc, n.log2cw))
+		for i, c := range n.children {
+			t.image.Set(ch, n.addr+1+uint32(i), place(c, depth+1))
+		}
+		return memlayout.NodePtr(ch, n.addr)
+	}
+	t.rootPtr = place(t.root, 0)
+	return nil
+}
+
+// Lookup runs the serialized lookup against mem, producing the access
+// pattern the NP simulator replays.
+func (t *Tree) Lookup(mem nptrace.Mem, h rules.Header) int {
+	costs := nptrace.DefaultCosts
+	ptr := t.rootPtr
+	for {
+		ch, off := memlayout.NodeAddr(ptr)
+		if memlayout.IsLeaf(ptr) {
+			panic("hicuts: leaf pointers are not used in the serialized tree")
+		}
+		mem.Compute(costs.IssueIO)
+		w0 := mem.Read(ch, off, 1)[0]
+		if w0&leafNodeFlag != 0 {
+			return t.scanLeaf(mem, ch, off, int(w0&0xFFFF), h)
+		}
+		dim, log2nc, log2cw := unpackInternal(w0)
+		mem.Compute(4 * costs.ALU) // extract field, shift, mask, add
+		idx := (h.Field(dim) >> log2cw) & uint32(1<<log2nc-1)
+		mem.Compute(costs.IssueIO)
+		ptr = mem.Read(ch, off+1+idx, 1)[0]
+	}
+}
+
+// scanLeaf performs the batched leaf linear search: fetch the fixed-size
+// leaf block (already read word 0), then unconditionally fetch every stored
+// rule record from the shared rule table, returning the highest-priority
+// match.
+func (t *Tree) scanLeaf(mem nptrace.Mem, ch uint8, off uint32, count int, h rules.Header) int {
+	if count == 0 {
+		return -1
+	}
+	// The leaf block burst covers binth slots; oversized (forced) leaves
+	// need a follow-up read for the tail.
+	first := count
+	if first > t.cfg.Binth {
+		first = t.cfg.Binth
+	}
+	costs := nptrace.DefaultCosts
+	mem.Compute(costs.IssueIO)
+	ids := append([]uint32(nil), mem.Read(ch, off+1, first)...)
+	if count > first {
+		mem.Compute(costs.IssueIO)
+		ids = append(ids, mem.Read(ch, off+1+uint32(first), count-first)...)
+	}
+	match := -1
+	for _, id := range ids {
+		mem.Compute(costs.IssueIO)
+		rec := mem.Read(t.ruleCh, t.ruleBase+id*ruletable.WordsPerRule, ruletable.WordsPerRule)
+		mem.Compute(ruletable.CompareCycles)
+		if match < 0 && ruletable.MatchRecord(rec, h) {
+			match = int(rec[5])
+		}
+	}
+	return match
+}
+
+// Program records the access program for one header.
+func (t *Tree) Program(h rules.Header) nptrace.Program {
+	rec := nptrace.NewRecorder(t.image)
+	return rec.Finish(t.Lookup(rec, h))
+}
+
+// Verify cross-checks the serialized lookup against the native tree walk
+// for the given headers; any divergence is a serialization bug.
+func (t *Tree) Verify(headers []rules.Header) error {
+	mem := nptrace.NullMem{R: t.image}
+	for _, h := range headers {
+		if got, want := t.Lookup(mem, h), t.Classify(h); got != want {
+			return fmt.Errorf("hicuts: serialized lookup %d != native %d for %v", got, want, h)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,105 @@
+package hsm
+
+import (
+	"fmt"
+
+	"repro/internal/memlayout"
+	"repro/internal/nptrace"
+	"repro/internal/rules"
+)
+
+// layout records where each HSM structure landed in the SRAM image. The
+// nine independent structures (five dimension tables, four cross-product
+// tables) are distributed round-robin across the configured channels so
+// the per-lookup reads spread over all controllers.
+type layout struct {
+	segLo                               [rules.NumDims]place
+	classID                             [rules.NumDims]place
+	tabIP, tabPort, tabIPPort, tabFinal place
+}
+
+type place struct {
+	ch   uint8
+	base uint32
+}
+
+func (c *Classifier) serialize() {
+	c.image = memlayout.NewImage()
+	next := 0
+	spot := func() uint8 {
+		ch := uint8(next % c.cfg.Channels)
+		next++
+		return ch
+	}
+	for d := 0; d < rules.NumDims; d++ {
+		ch := spot()
+		c.lay.segLo[d] = place{ch, c.image.Alloc(ch, c.dims[d].segLo)}
+		c.lay.classID[d] = place{ch, c.image.Alloc(ch, c.dims[d].classID)}
+	}
+	for _, t := range []struct {
+		tab *pairTable
+		dst *place
+	}{
+		{&c.tabIP, &c.lay.tabIP},
+		{&c.tabPort, &c.lay.tabPort},
+		{&c.tabIPPort, &c.lay.tabIPPort},
+		{&c.tabFinal, &c.lay.tabFinal},
+	} {
+		ch := spot()
+		*t.dst = place{ch, c.image.Alloc(ch, t.tab.data)}
+	}
+}
+
+// Lookup runs the serialized lookup against mem: per dimension a binary
+// search of single-word reads plus one class-ID read, then the four table
+// reads — every access a single 32-bit word, the property the paper
+// credits HSM's speed to (§6.6).
+func (c *Classifier) Lookup(mem nptrace.Mem, h rules.Header) int {
+	costs := nptrace.DefaultCosts
+	var cls [rules.NumDims]uint32
+	for d := 0; d < rules.NumDims; d++ {
+		dt := &c.dims[d]
+		pl := c.lay.segLo[d]
+		lo, hi := 0, len(dt.segLo) // invariant: segment in [lo, hi)
+		for hi-lo > 1 {
+			mid := (lo + hi) / 2
+			mem.Compute(2*costs.ALU + costs.IssueIO)
+			v := mem.Read(pl.ch, pl.base+uint32(mid), 1)[0]
+			mem.Compute(costs.Branch)
+			if v > h.Field(rules.Dim(d)) {
+				hi = mid
+			} else {
+				lo = mid
+			}
+		}
+		cpl := c.lay.classID[d]
+		mem.Compute(costs.IssueIO)
+		cls[d] = mem.Read(cpl.ch, cpl.base+uint32(lo), 1)[0]
+	}
+	readTab := func(pl place, tab *pairTable, a, b uint32) uint32 {
+		mem.Compute(2*costs.ALU + costs.IssueIO) // multiply-accumulate index
+		return mem.Read(pl.ch, pl.base+a*uint32(tab.nB)+b, 1)[0]
+	}
+	ip := readTab(c.lay.tabIP, &c.tabIP, cls[0], cls[1])
+	port := readTab(c.lay.tabPort, &c.tabPort, cls[2], cls[3])
+	comb := readTab(c.lay.tabIPPort, &c.tabIPPort, ip, port)
+	final := readTab(c.lay.tabFinal, &c.tabFinal, comb, cls[4])
+	return int(final) - 1
+}
+
+// Program records the access program for one header.
+func (c *Classifier) Program(h rules.Header) nptrace.Program {
+	rec := nptrace.NewRecorder(c.image)
+	return rec.Finish(c.Lookup(rec, h))
+}
+
+// Verify cross-checks the serialized lookup against the native one.
+func (c *Classifier) Verify(headers []rules.Header) error {
+	mem := nptrace.NullMem{R: c.image}
+	for _, h := range headers {
+		if got, want := c.Lookup(mem, h), c.Classify(h); got != want {
+			return fmt.Errorf("hsm: serialized lookup %d != native %d for %v", got, want, h)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,179 @@
+package hypercuts
+
+import (
+	"testing"
+
+	"repro/internal/hicuts"
+	"repro/internal/pktgen"
+	"repro/internal/rulegen"
+	"repro/internal/rules"
+)
+
+func buildSet(t *testing.T, kind rulegen.Kind, size int, seed int64) *rules.RuleSet {
+	t.Helper()
+	rs, err := rulegen.Generate(rulegen.Config{Kind: kind, Size: size, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rs
+}
+
+func trace(t *testing.T, rs *rules.RuleSet, n int, seed int64) []rules.Header {
+	t.Helper()
+	tr, err := pktgen.Generate(rs, pktgen.Config{Count: n, Seed: seed, MatchFraction: 0.85})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr.Headers
+}
+
+func TestClassifyMatchesOracle(t *testing.T) {
+	for _, tc := range []struct {
+		kind rulegen.Kind
+		size int
+	}{
+		{rulegen.Firewall, 120},
+		{rulegen.CoreRouter, 300},
+		{rulegen.Random, 80},
+	} {
+		rs := buildSet(t, tc.kind, tc.size, 301)
+		tree, err := New(rs, Config{})
+		if err != nil {
+			t.Fatalf("%v/%d: %v", tc.kind, tc.size, err)
+		}
+		for _, h := range trace(t, rs, 2000, 302) {
+			if got, want := tree.Classify(h), rs.Match(h); got != want {
+				t.Fatalf("%v/%d: Classify(%v) = %d, oracle %d", tc.kind, tc.size, h, got, want)
+			}
+		}
+	}
+}
+
+func TestSerializedLookupMatchesNative(t *testing.T) {
+	rs := buildSet(t, rulegen.CoreRouter, 250, 303)
+	tree, err := New(rs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Verify(trace(t, rs, 2500, 304)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiDimensionalCutsHappen(t *testing.T) {
+	// Core-router sets have two address dimensions with rich projections;
+	// HyperCuts must actually use its defining feature on them.
+	rs := buildSet(t, rulegen.CoreRouter, 400, 305)
+	tree, err := New(rs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Stats().MultiDimNodes == 0 {
+		t.Error("no multi-dimensional nodes built; HyperCuts degenerated to HiCuts")
+	}
+}
+
+func TestShallowerThanHiCuts(t *testing.T) {
+	// Cutting two dimensions at once flattens the tree relative to
+	// HiCuts on the same rules (the HyperCuts paper's headline).
+	rs := buildSet(t, rulegen.CoreRouter, 400, 306)
+	hyper, err := New(rs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := hicuts.New(rs, hicuts.Config{PruneCovered: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hyper.Stats().MaxDepth > hi.Stats().MaxDepth {
+		t.Errorf("HyperCuts depth %d exceeds HiCuts depth %d",
+			hyper.Stats().MaxDepth, hi.Stats().MaxDepth)
+	}
+}
+
+func TestWorstCaseBoundHolds(t *testing.T) {
+	rs := buildSet(t, rulegen.Firewall, 150, 307)
+	tree, err := New(rs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := tree.Stats().WorstCaseAccesses
+	for _, h := range trace(t, rs, 800, 308) {
+		p := tree.Program(h)
+		if p.Result != tree.Classify(h) {
+			t.Fatalf("program result mismatch for %v", h)
+		}
+		if p.Accesses() > bound {
+			t.Fatalf("program used %d accesses, bound %d", p.Accesses(), bound)
+		}
+	}
+}
+
+func TestSpecPackRoundTrip(t *testing.T) {
+	for _, cuts := range [][]cutSpec{
+		{{dim: rules.DimSrcIP, log2nc: 5, log2cw: 27}},
+		{{dim: rules.DimProto, log2nc: 1, log2cw: 7}},
+		{{dim: rules.DimSrcIP, log2nc: 4, log2cw: 28}, {dim: rules.DimDstIP, log2nc: 3, log2cw: 29}},
+		{{dim: rules.DimSrcPort, log2nc: 8, log2cw: 8}, {dim: rules.DimDstPort, log2nc: 2, log2cw: 14}},
+	} {
+		w := packInternal(cuts)
+		if w&leafNodeFlag != 0 {
+			t.Fatalf("internal word has leaf flag: %#x", w)
+		}
+		back := unpackInternal(w)
+		if len(back) != len(cuts) {
+			t.Fatalf("round trip lost cuts: %v -> %v", cuts, back)
+		}
+		for i := range cuts {
+			if back[i] != cuts[i] {
+				t.Fatalf("cut %d: %+v -> %+v", i, cuts[i], back[i])
+			}
+		}
+	}
+}
+
+func TestChannelRestriction(t *testing.T) {
+	rs := buildSet(t, rulegen.Firewall, 90, 309)
+	for channels := 1; channels <= 4; channels++ {
+		tree, err := New(rs, Config{Channels: channels})
+		if err != nil {
+			t.Fatal(err)
+		}
+		words := tree.Image().ChannelWords()
+		for c := channels; c < len(words); c++ {
+			if words[c] != 0 {
+				t.Errorf("channels=%d: channel %d has %d words", channels, c, words[c])
+			}
+		}
+		if err := tree.Verify(trace(t, rs, 300, 310)); err != nil {
+			t.Fatalf("channels=%d: %v", channels, err)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	rs := buildSet(t, rulegen.Firewall, 20, 311)
+	for i, cfg := range []Config{
+		{Binth: -1},
+		{SpFac: 0.1},
+		{MaxCells: 100}, // not a power of two
+		{Channels: 6},
+	} {
+		if _, err := New(rs, cfg); err == nil {
+			t.Errorf("config %d should be rejected", i)
+		}
+	}
+}
+
+func TestDegenerateSets(t *testing.T) {
+	// Inseparable duplicates and single rules must terminate.
+	r := rules.Rule{SrcPort: rules.FullPortRange, DstPort: rules.FullPortRange, Proto: rules.AnyProto}
+	rs := rules.NewRuleSet("dup", []rules.Rule{r, r, r})
+	tree, err := New(rs, Config{Binth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tree.Classify(rules.Header{}); got != 0 {
+		t.Errorf("Classify = %d, want 0", got)
+	}
+}

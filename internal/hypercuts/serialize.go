@@ -1,0 +1,168 @@
+package hypercuts
+
+import (
+	"fmt"
+
+	"repro/internal/memlayout"
+	"repro/internal/nptrace"
+	"repro/internal/rules"
+	"repro/internal/ruletable"
+)
+
+// Serialized layout, one word header plus the pointer array:
+//
+//	word 0 (internal):  bit31 clear ‖ (ncuts-1)(1, bit 30) ‖
+//	                    spec0(14, bits 16..29) ‖ spec1(14, bits 2..15)
+//	                    where spec = dim(3) ‖ log2nc(5) ‖ log2cw(6)
+//	words 1..cells:     child pointers
+//
+//	word 0 (leaf):      bit31 set ‖ count(16)
+//	words 1..:          rule indices padded to binth slots
+//
+// Leaf rule records are fetched from the shared rule table exactly as in
+// internal/hicuts (batched, no early exit).
+const leafNodeFlag = uint32(1) << 31
+
+func packSpec(c cutSpec) uint32 {
+	return uint32(c.dim)<<11 | uint32(c.log2nc)<<6 | uint32(c.log2cw)
+}
+
+func unpackSpec(v uint32) cutSpec {
+	return cutSpec{
+		dim:    rules.Dim(v >> 11 & 0x7),
+		log2nc: uint(v >> 6 & 0x1F),
+		log2cw: uint(v & 0x3F),
+	}
+}
+
+func packInternal(cuts []cutSpec) uint32 {
+	w := uint32(len(cuts)-1) << 30
+	w |= packSpec(cuts[0]) << 16
+	if len(cuts) > 1 {
+		w |= packSpec(cuts[1]) << 2
+	}
+	return w
+}
+
+func unpackInternal(w uint32) []cutSpec {
+	n := int(w>>30&1) + 1
+	cuts := make([]cutSpec, 0, 2)
+	cuts = append(cuts, unpackSpec(w>>16&0x3FFF))
+	if n > 1 {
+		cuts = append(cuts, unpackSpec(w>>2&0x3FFF))
+	}
+	return cuts
+}
+
+func (t *Tree) serialize() error {
+	levels := t.stats.MaxDepth + 1
+	alloc, err := memlayout.AllocateLevels(memlayout.UniformDemand(levels), t.cfg.Headroom, t.cfg.Channels)
+	if err != nil {
+		return err
+	}
+	t.image = memlayout.NewImage()
+	t.ruleCh = uint8(t.cfg.Channels - 1)
+	t.ruleBase = t.image.Alloc(t.ruleCh, ruletable.Encode(t.rs))
+
+	var place func(n *node, depth int) uint32
+	place = func(n *node, depth int) uint32 {
+		if n.placed {
+			return memlayout.NodePtr(n.channel, n.addr)
+		}
+		ch := alloc[depth]
+		if n.leaf {
+			slots := len(n.ruleIdx)
+			if slots < t.cfg.Binth {
+				slots = t.cfg.Binth
+			}
+			words := make([]uint32, 1+slots)
+			words[0] = leafNodeFlag | uint32(len(n.ruleIdx))
+			for i, ri := range n.ruleIdx {
+				words[1+i] = uint32(ri)
+			}
+			n.addr = t.image.Alloc(ch, words)
+			n.channel = ch
+			n.placed = true
+			return memlayout.NodePtr(ch, n.addr)
+		}
+		cells := n.cells()
+		n.addr = t.image.Reserve(ch, 1+cells)
+		n.channel = ch
+		n.placed = true
+		t.image.Set(ch, n.addr, packInternal(n.cuts))
+		for i, c := range n.children {
+			t.image.Set(ch, n.addr+1+uint32(i), place(c, depth+1))
+		}
+		return memlayout.NodePtr(ch, n.addr)
+	}
+	t.rootPtr = place(t.root, 0)
+	return nil
+}
+
+// Lookup runs the serialized lookup against mem.
+func (t *Tree) Lookup(mem nptrace.Mem, h rules.Header) int {
+	costs := nptrace.DefaultCosts
+	ptr := t.rootPtr
+	for {
+		ch, off := memlayout.NodeAddr(ptr)
+		mem.Compute(costs.IssueIO)
+		w0 := mem.Read(ch, off, 1)[0]
+		if w0&leafNodeFlag != 0 {
+			return t.scanLeaf(mem, ch, off, int(w0&0xFFFF), h)
+		}
+		cuts := unpackInternal(w0)
+		idx := uint32(0)
+		for _, c := range cuts {
+			mem.Compute(4 * costs.ALU)
+			ci := (h.Field(c.dim) >> c.log2cw) & uint32(1<<c.log2nc-1)
+			idx = idx<<c.log2nc | ci
+		}
+		mem.Compute(costs.IssueIO)
+		ptr = mem.Read(ch, off+1+idx, 1)[0]
+	}
+}
+
+// scanLeaf mirrors the HiCuts batched leaf linear search.
+func (t *Tree) scanLeaf(mem nptrace.Mem, ch uint8, off uint32, count int, h rules.Header) int {
+	if count == 0 {
+		return -1
+	}
+	first := count
+	if first > t.cfg.Binth {
+		first = t.cfg.Binth
+	}
+	costs := nptrace.DefaultCosts
+	mem.Compute(costs.IssueIO)
+	ids := append([]uint32(nil), mem.Read(ch, off+1, first)...)
+	if count > first {
+		mem.Compute(costs.IssueIO)
+		ids = append(ids, mem.Read(ch, off+1+uint32(first), count-first)...)
+	}
+	match := -1
+	for _, id := range ids {
+		mem.Compute(costs.IssueIO)
+		rec := mem.Read(t.ruleCh, t.ruleBase+id*ruletable.WordsPerRule, ruletable.WordsPerRule)
+		mem.Compute(ruletable.CompareCycles)
+		if match < 0 && ruletable.MatchRecord(rec, h) {
+			match = int(rec[5])
+		}
+	}
+	return match
+}
+
+// Program records the access program for one header.
+func (t *Tree) Program(h rules.Header) nptrace.Program {
+	rec := nptrace.NewRecorder(t.image)
+	return rec.Finish(t.Lookup(rec, h))
+}
+
+// Verify cross-checks the serialized lookup against the native tree walk.
+func (t *Tree) Verify(headers []rules.Header) error {
+	mem := nptrace.NullMem{R: t.image}
+	for _, h := range headers {
+		if got, want := t.Lookup(mem, h), t.Classify(h); got != want {
+			return fmt.Errorf("hypercuts: serialized lookup %d != native %d for %v", got, want, h)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,101 @@
+package linear
+
+import (
+	"testing"
+
+	"repro/internal/pktgen"
+	"repro/internal/rulegen"
+	"repro/internal/rules"
+)
+
+func TestClassifyMatchesOracle(t *testing.T) {
+	rs, err := rulegen.Generate(rulegen.Config{Kind: rulegen.CoreRouter, Size: 150, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(rs)
+	tr, err := pktgen.Generate(rs, pktgen.Config{Count: 1000, Seed: 6, MatchFraction: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range tr.Headers {
+		if got, want := c.Classify(h), rs.Match(h); got != want {
+			t.Fatalf("Classify(%v) = %d, oracle = %d", h, got, want)
+		}
+	}
+}
+
+func TestSerializedLookupMatchesNative(t *testing.T) {
+	rs, err := rulegen.Generate(rulegen.Config{Kind: rulegen.Firewall, Size: 80, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(rs)
+	tr, err := pktgen.Generate(rs, pktgen.Config{Count: 500, Seed: 8, MatchFraction: 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range tr.Headers {
+		p := c.Program(h)
+		if p.Result != c.Classify(h) {
+			t.Fatalf("serialized result %d != native %d for %v", p.Result, c.Classify(h), h)
+		}
+	}
+}
+
+func TestProgramShape(t *testing.T) {
+	rs := rules.NewRuleSet("three", []rules.Rule{
+		{SrcIP: rules.Prefix{Addr: 0x0A000000, Len: 8}, SrcPort: rules.FullPortRange, DstPort: rules.FullPortRange, Proto: rules.AnyProto},
+		{SrcIP: rules.Prefix{Addr: 0x14000000, Len: 8}, SrcPort: rules.FullPortRange, DstPort: rules.FullPortRange, Proto: rules.AnyProto},
+		{SrcPort: rules.FullPortRange, DstPort: rules.FullPortRange, Proto: rules.AnyProto},
+	})
+	c := New(rs)
+	// Header matching rule 1: exactly 2 record reads of 6 words each.
+	p := c.Program(rules.Header{SrcIP: 0x14010101})
+	if p.Result != 1 {
+		t.Fatalf("result = %d", p.Result)
+	}
+	if p.Accesses() != 2 {
+		t.Errorf("accesses = %d, want 2", p.Accesses())
+	}
+	if p.Words() != 12 {
+		t.Errorf("words = %d, want 12", p.Words())
+	}
+	// Non-matching header against a set without default rule scans all.
+	rsNoDefault := rules.NewRuleSet("two", rs.Rules[:2])
+	c2 := New(rsNoDefault)
+	p2 := c2.Program(rules.Header{SrcIP: 0x1E010101})
+	if p2.Result != -1 || p2.Accesses() != 2 {
+		t.Errorf("no-match program: result %d accesses %d", p2.Result, p2.Accesses())
+	}
+}
+
+func TestMemoryBytes(t *testing.T) {
+	rs, err := rulegen.Generate(rulegen.Config{Kind: rulegen.Firewall, Size: 100, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(rs)
+	if got, want := c.MemoryBytes(), 100*6*4; got != want {
+		t.Errorf("MemoryBytes = %d, want %d", got, want)
+	}
+}
+
+func TestNewOnChannel(t *testing.T) {
+	rs, err := rulegen.Generate(rulegen.Config{Kind: rulegen.Firewall, Size: 10, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewOnChannel(rs, 2)
+	words := c.Image().ChannelWords()
+	if words[2] != 60 || words[0] != 0 {
+		t.Errorf("channel words = %v", words)
+	}
+	h := rules.Header{Proto: rules.ProtoTCP}
+	p := c.Program(h)
+	for _, s := range p.Steps {
+		if s.Channel != 2 {
+			t.Errorf("access on channel %d, want 2", s.Channel)
+		}
+	}
+}

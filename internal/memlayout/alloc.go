@@ -1,0 +1,126 @@
+package memlayout
+
+import "fmt"
+
+// Headroom describes the fraction of each SRAM channel's bandwidth left
+// over by the base packet application (Rx/scheduling/Tx) before the
+// classification code is added — Table 4 of the paper. Values in (0, 1].
+type Headroom [NumChannels]float64
+
+// PaperHeadroom is the headroom the paper measured for its application:
+// channels 0–3 have 44%, 100%, 53% and 69% of their bandwidth free.
+var PaperHeadroom = Headroom{0.44, 1.00, 0.53, 0.69}
+
+// UniformHeadroom gives every channel full headroom; used when simulating
+// the classifier in isolation.
+var UniformHeadroom = Headroom{1, 1, 1, 1}
+
+// Validate checks all fractions are in (0, 1].
+func (h Headroom) Validate() error {
+	for c, f := range h {
+		if f <= 0 || f > 1 {
+			return fmt.Errorf("memlayout: channel %d headroom %v out of (0,1]", c, f)
+		}
+	}
+	return nil
+}
+
+// LevelAllocation maps each decision-tree level to the SRAM channel that
+// stores its nodes.
+type LevelAllocation []uint8
+
+// String renders the allocation as contiguous level groups per channel,
+// in the style of Table 4 ("level 0~1 | level 2~6 | ...").
+func (a LevelAllocation) String() string {
+	if len(a) == 0 {
+		return "(empty)"
+	}
+	out := ""
+	start := 0
+	for i := 1; i <= len(a); i++ {
+		if i == len(a) || a[i] != a[start] {
+			if out != "" {
+				out += "  "
+			}
+			if start == i-1 {
+				out += fmt.Sprintf("ch%d: level %d", a[start], start)
+			} else {
+				out += fmt.Sprintf("ch%d: level %d~%d", a[start], start, i-1)
+			}
+			start = i
+		}
+	}
+	return out
+}
+
+// AllocateLevels assigns contiguous groups of decision-tree levels to SRAM
+// channels in proportion to bandwidth headroom (§5.3 of the paper). demand
+// holds the relative bandwidth demand of each level (accesses per packet ×
+// words per access); channels are used in index order, and channel c
+// receives levels until its share headroom[c]/Σheadroom of the total demand
+// is exhausted.
+//
+// Using nChannels < NumChannels restricts allocation to the first
+// nChannels channels (the Table 5 sweep).
+func AllocateLevels(demand []float64, headroom Headroom, nChannels int) (LevelAllocation, error) {
+	if nChannels < 1 || nChannels > NumChannels {
+		return nil, fmt.Errorf("memlayout: nChannels %d out of [1,%d]", nChannels, NumChannels)
+	}
+	if err := headroom.Validate(); err != nil {
+		return nil, err
+	}
+	if len(demand) == 0 {
+		return nil, fmt.Errorf("memlayout: no levels to allocate")
+	}
+	total := 0.0
+	for _, d := range demand {
+		if d < 0 {
+			return nil, fmt.Errorf("memlayout: negative demand %v", d)
+		}
+		total += d
+	}
+	if total == 0 {
+		total = 1 // degenerate: spread evenly
+	}
+	headroomSum := 0.0
+	for c := 0; c < nChannels; c++ {
+		headroomSum += headroom[c]
+	}
+
+	alloc := make(LevelAllocation, len(demand))
+	ch := 0
+	filled := 0.0 // demand assigned to channels 0..ch so far
+	assigned := 0 // levels assigned to the current channel
+	target := func(c int) float64 {
+		// Cumulative demand that channels 0..c should hold.
+		cum := 0.0
+		for i := 0; i <= c; i++ {
+			cum += headroom[i] / headroomSum * total
+		}
+		return cum
+	}
+	for lvl, d := range demand {
+		// A channel never exceeds its cumulative share (conservative,
+		// floor-style split — this is what reproduces Table 4), but every
+		// channel takes at least one level before advancing, so a single
+		// oversized level cannot starve the allocation.
+		for ch < nChannels-1 && assigned > 0 && filled+d > target(ch)+1e-9 {
+			ch++
+			assigned = 0
+		}
+		alloc[lvl] = uint8(ch)
+		filled += d
+		assigned++
+	}
+	return alloc, nil
+}
+
+// UniformDemand is a convenience demand vector for trees whose every level
+// is visited once per packet with equal-size accesses (ExpCuts).
+func UniformDemand(levels int) []float64 {
+	d := make([]float64, levels)
+	for i := range d {
+		d[i] = 1
+	}
+	return d
+}

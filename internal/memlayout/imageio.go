@@ -1,0 +1,139 @@
+package memlayout
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Image file format: what a control plane would hand to the XScale core to
+// load into the SRAM channels.
+//
+//	magic "NPIM" ‖ version(u32) ‖ per channel: wordCount(u32) ‖
+//	all channel words little-endian ‖ crc32(u32) over everything before it
+const (
+	imageMagic   = "NPIM"
+	imageVersion = 1
+)
+
+// Save serializes the image.
+func (im *Image) Save(w io.Writer) error {
+	crc := crc32.NewIEEE()
+	bw := bufio.NewWriter(io.MultiWriter(w, crc))
+	if _, err := bw.WriteString(imageMagic); err != nil {
+		return err
+	}
+	var scratch [4]byte
+	put := func(v uint32) error {
+		binary.LittleEndian.PutUint32(scratch[:], v)
+		_, err := bw.Write(scratch[:])
+		return err
+	}
+	if err := put(imageVersion); err != nil {
+		return err
+	}
+	for c := range im.chans {
+		if err := put(uint32(len(im.chans[c]))); err != nil {
+			return err
+		}
+	}
+	for c := range im.chans {
+		for _, word := range im.chans[c] {
+			if err := put(word); err != nil {
+				return err
+			}
+		}
+	}
+	// The CRC covers everything written so far; flush the buffer through
+	// the MultiWriter first so the hash is complete.
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(scratch[:], crc.Sum32())
+	_, err := w.Write(scratch[:])
+	return err
+}
+
+// LoadImage deserializes an image saved by Save, verifying the checksum.
+func LoadImage(r io.Reader) (*Image, error) {
+	crc := crc32.NewIEEE()
+	tr := io.TeeReader(r, crc)
+	br := bufio.NewReader(tr)
+
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("memlayout: reading magic: %w", err)
+	}
+	if string(magic) != imageMagic {
+		return nil, fmt.Errorf("memlayout: bad magic %q", magic)
+	}
+	var scratch [4]byte
+	get := func() (uint32, error) {
+		if _, err := io.ReadFull(br, scratch[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(scratch[:]), nil
+	}
+	version, err := get()
+	if err != nil {
+		return nil, err
+	}
+	if version != imageVersion {
+		return nil, fmt.Errorf("memlayout: unsupported image version %d", version)
+	}
+	im := NewImage()
+	var counts [NumChannels]uint32
+	for c := 0; c < NumChannels; c++ {
+		if counts[c], err = get(); err != nil {
+			return nil, err
+		}
+		if counts[c] > MaxOffset {
+			return nil, fmt.Errorf("memlayout: channel %d word count %d is implausible", c, counts[c])
+		}
+	}
+	for c := 0; c < NumChannels; c++ {
+		words := make([]uint32, counts[c])
+		for i := range words {
+			if words[i], err = get(); err != nil {
+				return nil, err
+			}
+		}
+		im.chans[c] = words
+	}
+	// The running CRC has consumed everything the checksum covers, but the
+	// bufio reader may have pulled the trailer into its buffer already —
+	// which would have polluted the tee'd hash. Avoid that by reading the
+	// trailer through the buffered reader and computing the expected CRC
+	// from a fresh pass over the decoded content instead.
+	if _, err := io.ReadFull(br, scratch[:]); err != nil {
+		return nil, fmt.Errorf("memlayout: reading checksum: %w", err)
+	}
+	stored := binary.LittleEndian.Uint32(scratch[:])
+	if recomputed := im.contentCRC(); stored != recomputed {
+		return nil, fmt.Errorf("memlayout: checksum mismatch: stored %#x, computed %#x", stored, recomputed)
+	}
+	return im, nil
+}
+
+// contentCRC recomputes the checksum Save produces for this image.
+func (im *Image) contentCRC() uint32 {
+	crc := crc32.NewIEEE()
+	crc.Write([]byte(imageMagic))
+	var scratch [4]byte
+	put := func(v uint32) {
+		binary.LittleEndian.PutUint32(scratch[:], v)
+		crc.Write(scratch[:])
+	}
+	put(imageVersion)
+	for c := range im.chans {
+		put(uint32(len(im.chans[c])))
+	}
+	for c := range im.chans {
+		for _, word := range im.chans[c] {
+			put(word)
+		}
+	}
+	return crc.Sum32()
+}

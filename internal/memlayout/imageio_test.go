@@ -1,0 +1,88 @@
+package memlayout
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func randomImage(seed int64) *Image {
+	rng := rand.New(rand.NewSource(seed))
+	im := NewImage()
+	for c := uint8(0); c < NumChannels; c++ {
+		n := rng.Intn(2000)
+		words := make([]uint32, n)
+		for i := range words {
+			words[i] = rng.Uint32()
+		}
+		im.Alloc(c, words)
+	}
+	return im
+}
+
+func TestImageSaveLoadRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		im := randomImage(seed)
+		var buf bytes.Buffer
+		if err := im.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		back, err := LoadImage(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(im.ChannelWords(), back.ChannelWords()) {
+			t.Fatalf("seed %d: channel sizes differ", seed)
+		}
+		for c := uint8(0); c < NumChannels; c++ {
+			n := im.ChannelWords()[c]
+			if n == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(im.Read(c, 0, n), back.Read(c, 0, n)) {
+				t.Fatalf("seed %d: channel %d content differs", seed, c)
+			}
+		}
+	}
+}
+
+func TestImageLoadEmpty(t *testing.T) {
+	im := NewImage()
+	var buf bytes.Buffer
+	if err := im.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadImage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.TotalWords() != 0 {
+		t.Errorf("empty image loaded %d words", back.TotalWords())
+	}
+}
+
+func TestImageLoadDetectsCorruption(t *testing.T) {
+	im := randomImage(9)
+	var buf bytes.Buffer
+	if err := im.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Flip a content byte (past the header).
+	corrupted := append([]byte(nil), data...)
+	corrupted[30] ^= 0xFF
+	if _, err := LoadImage(bytes.NewReader(corrupted)); err == nil {
+		t.Error("corrupted image loaded successfully")
+	}
+	// Truncation.
+	if _, err := LoadImage(bytes.NewReader(data[:len(data)-6])); err == nil {
+		t.Error("truncated image loaded successfully")
+	}
+	// Bad magic.
+	bad := append([]byte(nil), data...)
+	bad[0] = 'X'
+	if _, err := LoadImage(bytes.NewReader(bad)); err == nil {
+		t.Error("bad magic accepted")
+	}
+}

@@ -1,0 +1,194 @@
+package memlayout
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestImageAllocRead(t *testing.T) {
+	im := NewImage()
+	off := im.Alloc(1, []uint32{10, 20, 30})
+	if off != 0 {
+		t.Errorf("first alloc offset = %d", off)
+	}
+	off2 := im.Alloc(1, []uint32{40})
+	if off2 != 3 {
+		t.Errorf("second alloc offset = %d", off2)
+	}
+	if got := im.Read(1, 1, 2); !reflect.DeepEqual(got, []uint32{20, 30}) {
+		t.Errorf("Read = %v", got)
+	}
+	if im.TotalWords() != 4 || im.TotalBytes() != 16 {
+		t.Errorf("totals wrong: %d words %d bytes", im.TotalWords(), im.TotalBytes())
+	}
+	want := [NumChannels]int{0, 4, 0, 0}
+	if got := im.ChannelWords(); got != want {
+		t.Errorf("ChannelWords = %v", got)
+	}
+}
+
+func TestImageReserveSet(t *testing.T) {
+	im := NewImage()
+	off := im.Reserve(0, 3)
+	im.Set(0, off+1, 99)
+	if got := im.Read(0, off, 3); !reflect.DeepEqual(got, []uint32{0, 99, 0}) {
+		t.Errorf("Read = %v", got)
+	}
+}
+
+func TestImageReadPanicsOutOfRange(t *testing.T) {
+	im := NewImage()
+	im.Alloc(0, []uint32{1, 2})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range read should panic")
+		}
+	}()
+	im.Read(0, 1, 2)
+}
+
+func TestFitsHardware(t *testing.T) {
+	im := NewImage()
+	im.Alloc(0, make([]uint32, ChannelBytes/4))
+	if !im.FitsHardware() {
+		t.Error("exactly-full channel should fit")
+	}
+	im.Alloc(0, []uint32{0})
+	if im.FitsHardware() {
+		t.Error("overfull channel should not fit")
+	}
+	// Capacity is per channel, not total.
+	im2 := NewImage()
+	for c := uint8(0); c < NumChannels; c++ {
+		im2.Alloc(c, make([]uint32, ChannelBytes/4))
+	}
+	if !im2.FitsHardware() {
+		t.Error("four full channels should fit")
+	}
+}
+
+func TestPointerEncoding(t *testing.T) {
+	cases := []struct {
+		ch  uint8
+		off uint32
+	}{
+		{0, 0}, {1, 1}, {3, MaxOffset}, {2, 12345678},
+	}
+	for _, c := range cases {
+		p := NodePtr(c.ch, c.off)
+		if IsLeaf(p) {
+			t.Errorf("NodePtr(%d,%d) decodes as leaf", c.ch, c.off)
+		}
+		ch, off := NodeAddr(p)
+		if ch != c.ch || off != c.off {
+			t.Errorf("NodeAddr(NodePtr(%d,%d)) = %d,%d", c.ch, c.off, ch, off)
+		}
+	}
+	for _, idx := range []int{-1, 0, 1, 100000} {
+		p := LeafPtr(idx)
+		if !IsLeaf(p) {
+			t.Errorf("LeafPtr(%d) not a leaf", idx)
+		}
+		if got := LeafRule(p); got != idx {
+			t.Errorf("LeafRule(LeafPtr(%d)) = %d", idx, got)
+		}
+	}
+	// NodePtr must reject offsets that would clobber the channel bits.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized offset should panic")
+		}
+	}()
+	NodePtr(0, MaxOffset+1)
+}
+
+func TestAllocateLevelsReproducesTable4(t *testing.T) {
+	// 14 levels (0..13 as in the paper's 104/8 example rounded up: the
+	// paper lists levels 0~13), uniform demand, paper headroom
+	// {44,100,53,69}% -> shares {16.5%,37.6%,19.9%,25.9%} of 14 levels =
+	// {2.3, 5.3, 2.8, 3.6} -> contiguous groups 0~1, 2~6, 7~9, 10~13.
+	alloc, err := AllocateLevels(UniformDemand(14), PaperHeadroom, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := LevelAllocation{0, 0, 1, 1, 1, 1, 1, 2, 2, 2, 3, 3, 3, 3}
+	if !reflect.DeepEqual(alloc, want) {
+		t.Errorf("allocation = %v, want %v (Table 4)", alloc, want)
+	}
+	if alloc.String() != "ch0: level 0~1  ch1: level 2~6  ch2: level 7~9  ch3: level 10~13" {
+		t.Errorf("String() = %q", alloc.String())
+	}
+}
+
+func TestAllocateLevelsSingleChannel(t *testing.T) {
+	alloc, err := AllocateLevels(UniformDemand(13), PaperHeadroom, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for lvl, ch := range alloc {
+		if ch != 0 {
+			t.Errorf("level %d on channel %d with 1 channel", lvl, ch)
+		}
+	}
+}
+
+func TestAllocateLevelsUsesAllChannels(t *testing.T) {
+	for n := 1; n <= 4; n++ {
+		alloc, err := AllocateLevels(UniformDemand(13), UniformHeadroom, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		used := map[uint8]bool{}
+		for _, ch := range alloc {
+			if int(ch) >= n {
+				t.Fatalf("n=%d: channel %d out of range", n, ch)
+			}
+			used[ch] = true
+		}
+		if len(used) != n {
+			t.Errorf("n=%d: only %d channels used", n, len(used))
+		}
+		// Levels must be assigned in non-decreasing channel order
+		// (contiguous groups).
+		for i := 1; i < len(alloc); i++ {
+			if alloc[i] < alloc[i-1] {
+				t.Errorf("n=%d: allocation not monotone: %v", n, alloc)
+			}
+		}
+	}
+}
+
+func TestAllocateLevelsSkewedDemand(t *testing.T) {
+	// All demand on level 0: remaining levels spill to later channels but
+	// the split point respects the demand weighting (channel 0 takes the
+	// heavy level and nothing else when its share is < the whole).
+	demand := []float64{100, 1, 1, 1}
+	alloc, err := AllocateLevels(demand, UniformHeadroom, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc[0] != 0 {
+		t.Errorf("heavy level not on channel 0: %v", alloc)
+	}
+	if alloc[1] == 0 {
+		t.Errorf("after absorbing 100/103 of demand, channel 0 should be done: %v", alloc)
+	}
+}
+
+func TestAllocateLevelsErrors(t *testing.T) {
+	if _, err := AllocateLevels(UniformDemand(3), PaperHeadroom, 0); err == nil {
+		t.Error("nChannels 0 should fail")
+	}
+	if _, err := AllocateLevels(UniformDemand(3), PaperHeadroom, 5); err == nil {
+		t.Error("nChannels 5 should fail")
+	}
+	if _, err := AllocateLevels(nil, PaperHeadroom, 2); err == nil {
+		t.Error("no levels should fail")
+	}
+	if _, err := AllocateLevels([]float64{1, -1}, PaperHeadroom, 2); err == nil {
+		t.Error("negative demand should fail")
+	}
+	if _, err := AllocateLevels(UniformDemand(3), Headroom{0, 1, 1, 1}, 2); err == nil {
+		t.Error("zero headroom should fail")
+	}
+}

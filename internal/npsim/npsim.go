@@ -1,0 +1,417 @@
+// Package npsim models the Intel IXP2850 network processor as a
+// deterministic discrete-event simulation: microengines (MEs) that execute
+// one hardware thread at a time with zero-cost context switching, hardware
+// threads that hide SRAM latency, and word-oriented QDR SRAM channels with
+// finite command FIFOs. It replays the per-packet access programs recorded
+// by the classifiers (internal/nptrace) and measures packet throughput,
+// reproducing the paper's evaluation methodology (§5, §6).
+//
+// The model captures the three performance mechanisms §6.7 identifies:
+//
+//   - SRAM bandwidth: each channel serves one command at a time, a command
+//     costing a fixed overhead plus per-word transfer time, scaled by the
+//     channel's bandwidth headroom (the share not consumed by the base
+//     packet application).
+//   - I/O command rate: each channel accepts a bounded number of
+//     outstanding commands (the command FIFO); threads attempting to issue
+//     beyond it stall.
+//   - Latency hiding: while a thread waits for SRAM, its ME runs sibling
+//     threads; throughput scales with thread count until a channel or the
+//     ME itself saturates.
+//
+// Model constants are calibrated from public IXP2850 characteristics
+// (1.4 GHz MEs, 233 MHz QDR SRAM, ~150–300 cycle load-to-use latency); see
+// DESIGN.md for the calibration targets and EXPERIMENTS.md for measured
+// deviations from the paper.
+package npsim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/des"
+	"repro/internal/memlayout"
+	"repro/internal/nptrace"
+)
+
+// SRAMConfig models the QDR SRAM subsystem.
+type SRAMConfig struct {
+	// LatencyCycles is the load-to-use latency of a read in ME cycles,
+	// excluding queueing: controller pipeline plus push-bus transfer.
+	LatencyCycles uint32
+	// CmdOverheadCycles is the per-command channel occupancy independent
+	// of burst length.
+	CmdOverheadCycles float64
+	// WordCycles is the per-word channel occupancy in ME cycles
+	// (1.4 GHz ME vs 233 MHz QDR gives a handful of ME cycles per
+	// 32-bit word).
+	WordCycles float64
+	// FIFODepth is the maximum outstanding commands per channel,
+	// including the one in service; issuing threads stall beyond it.
+	FIFODepth int
+	// Headroom scales each channel's available bandwidth: the share left
+	// over by the base application (Table 4 of the paper).
+	Headroom memlayout.Headroom
+}
+
+// Config parameterizes one simulation run.
+type Config struct {
+	// Threads is the total number of hardware threads running the
+	// classification stage (the paper sweeps 7..71).
+	Threads int
+	// ThreadsPerME is the hardware thread count per microengine (8 on
+	// the IXP2850). Threads are packed onto ⌈Threads/ThreadsPerME⌉ MEs.
+	ThreadsPerME int
+	// ClockMHz is the ME clock (1400 for the IXP2850).
+	ClockMHz float64
+	// ContextSwitchCycles is the cost of switching the ME to another
+	// ready thread (hardware context switching is nearly free).
+	ContextSwitchCycles uint32
+	// PerPacketOverheadCycles is the ME work per packet outside
+	// classification proper (dequeue from the Rx ring, header fetch from
+	// local memory, result enqueue).
+	PerPacketOverheadCycles uint32
+	// MaxIngressMbps caps the reported throughput at the media interface
+	// capacity (the paper's platform tops out around 10 Gb/s).
+	MaxIngressMbps float64
+	// PacketBytes converts packets to bits for throughput (64-byte
+	// minimum-size packets in the paper).
+	PacketBytes int
+	SRAM        SRAMConfig
+}
+
+// DefaultConfig returns the calibrated IXP2850 model with the paper's full
+// configuration: 71 threads (9 MEs × 8 threads minus one reserved for
+// exception packets).
+func DefaultConfig() Config {
+	return Config{
+		Threads:                 71,
+		ThreadsPerME:            8,
+		ClockMHz:                1400,
+		ContextSwitchCycles:     1,
+		PerPacketOverheadCycles: 100,
+		MaxIngressMbps:          10000,
+		PacketBytes:             64,
+		SRAM: SRAMConfig{
+			LatencyCycles:     250,
+			CmdOverheadCycles: 1.5,
+			WordCycles:        4,
+			FIFODepth:         16,
+			Headroom:          memlayout.UniformHeadroom,
+		},
+	}
+}
+
+func (c *Config) fillDefaults() error {
+	d := DefaultConfig()
+	if c.Threads == 0 {
+		c.Threads = d.Threads
+	}
+	if c.ThreadsPerME == 0 {
+		c.ThreadsPerME = d.ThreadsPerME
+	}
+	if c.ClockMHz == 0 {
+		c.ClockMHz = d.ClockMHz
+	}
+	if c.ContextSwitchCycles == 0 {
+		c.ContextSwitchCycles = d.ContextSwitchCycles
+	}
+	if c.PerPacketOverheadCycles == 0 {
+		c.PerPacketOverheadCycles = d.PerPacketOverheadCycles
+	}
+	if c.MaxIngressMbps == 0 {
+		c.MaxIngressMbps = d.MaxIngressMbps
+	}
+	if c.PacketBytes == 0 {
+		c.PacketBytes = d.PacketBytes
+	}
+	if c.SRAM.LatencyCycles == 0 {
+		c.SRAM.LatencyCycles = d.SRAM.LatencyCycles
+	}
+	if c.SRAM.CmdOverheadCycles == 0 {
+		c.SRAM.CmdOverheadCycles = d.SRAM.CmdOverheadCycles
+	}
+	if c.SRAM.WordCycles == 0 {
+		c.SRAM.WordCycles = d.SRAM.WordCycles
+	}
+	if c.SRAM.FIFODepth == 0 {
+		c.SRAM.FIFODepth = d.SRAM.FIFODepth
+	}
+	if c.SRAM.Headroom == (memlayout.Headroom{}) {
+		c.SRAM.Headroom = d.SRAM.Headroom
+	}
+	if c.Threads < 1 {
+		return fmt.Errorf("npsim: threads must be >= 1, got %d", c.Threads)
+	}
+	if c.ThreadsPerME < 1 {
+		return fmt.Errorf("npsim: threads per ME must be >= 1, got %d", c.ThreadsPerME)
+	}
+	if err := c.SRAM.Headroom.Validate(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Result reports one simulation run.
+type Result struct {
+	// Packets completed and virtual Cycles elapsed.
+	Packets int
+	Cycles  uint64
+	// ThroughputMbps is the headline number (capped at MaxIngressMbps);
+	// OfferedMbps is the uncapped model output.
+	ThroughputMbps float64
+	OfferedMbps    float64
+	// PPS is packets per second (uncapped).
+	PPS float64
+	// ChannelUtilization is the busy fraction of each SRAM channel.
+	ChannelUtilization [memlayout.NumChannels]float64
+	// MEUtilization is the mean busy fraction of the MEs.
+	MEUtilization float64
+	// AvgPacketCycles is the mean per-packet latency in ME cycles;
+	// P50/P99PacketCycles are the median and 99th-percentile latencies.
+	AvgPacketCycles float64
+	P50PacketCycles uint64
+	P99PacketCycles uint64
+}
+
+// Run replays the access programs on the modelled NP until total packets
+// are classified, cycling through the program list. It is fully
+// deterministic.
+func Run(cfg Config, programs []nptrace.Program, totalPackets int) (Result, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return Result{}, err
+	}
+	if len(programs) == 0 {
+		return Result{}, fmt.Errorf("npsim: no access programs")
+	}
+	if totalPackets <= 0 {
+		totalPackets = 50000
+	}
+	m := newMachine(cfg, programs, totalPackets)
+	m.start()
+	m.sim.Run()
+	return m.result()
+}
+
+// machine is the simulation state.
+type machine struct {
+	cfg      Config
+	sim      *des.Sim
+	programs []nptrace.Program
+
+	mes      []*me
+	channels []*channel
+
+	nextPacket   int // shared program counter
+	totalPackets int
+	donePackets  int
+	latencySum   uint64
+	latencies    []uint64
+}
+
+type me struct {
+	m        *machine
+	busy     bool
+	ready    []*thread // FIFO of runnable threads
+	busyTime uint64
+}
+
+type thread struct {
+	me      *me
+	prog    *nptrace.Program
+	step    int
+	started des.Time // packet start time
+}
+
+type request struct {
+	t      *thread
+	cycles des.Time // channel occupancy
+}
+
+type channel struct {
+	m        *machine
+	idx      int
+	busy     bool
+	queue    []request // commands waiting for or in service
+	blocked  []request // threads stalled on a full FIFO
+	depth    int
+	busyTime uint64
+}
+
+func newMachine(cfg Config, programs []nptrace.Program, totalPackets int) *machine {
+	m := &machine{
+		cfg:          cfg,
+		sim:          &des.Sim{},
+		programs:     programs,
+		totalPackets: totalPackets,
+	}
+	numMEs := (cfg.Threads + cfg.ThreadsPerME - 1) / cfg.ThreadsPerME
+	for i := 0; i < numMEs; i++ {
+		m.mes = append(m.mes, &me{m: m})
+	}
+	for c := 0; c < memlayout.NumChannels; c++ {
+		m.channels = append(m.channels, &channel{m: m, idx: c, depth: cfg.SRAM.FIFODepth})
+	}
+	return m
+}
+
+// start seeds every thread with its first packet.
+func (m *machine) start() {
+	for i := 0; i < m.cfg.Threads; i++ {
+		t := &thread{me: m.mes[i%len(m.mes)]}
+		if m.assign(t) {
+			t.me.enqueue(t)
+		}
+	}
+}
+
+// assign hands the thread its next packet; false when the workload is done.
+func (m *machine) assign(t *thread) bool {
+	if m.nextPacket >= m.totalPackets {
+		return false
+	}
+	t.prog = &m.programs[m.nextPacket%len(m.programs)]
+	m.nextPacket++
+	t.step = -1 // -1 = per-packet overhead phase
+	t.started = m.sim.Now()
+	return true
+}
+
+// enqueue makes the thread runnable on its ME.
+func (e *me) enqueue(t *thread) {
+	e.ready = append(e.ready, t)
+	if !e.busy {
+		e.dispatch()
+	}
+}
+
+// dispatch runs the next ready thread's compute phase.
+func (e *me) dispatch() {
+	if len(e.ready) == 0 {
+		e.busy = false
+		return
+	}
+	e.busy = true
+	t := e.ready[0]
+	e.ready = e.ready[1:]
+	cycles := des.Time(e.m.cfg.ContextSwitchCycles) + t.computeCycles()
+	e.busyTime += uint64(cycles)
+	e.m.sim.After(cycles, func(des.Time) {
+		t.computeDone()
+		e.dispatch()
+	})
+}
+
+// computeCycles returns the ME work of the thread's current phase.
+func (t *thread) computeCycles() des.Time {
+	if t.step == -1 {
+		return des.Time(t.me.m.cfg.PerPacketOverheadCycles)
+	}
+	if t.step < len(t.prog.Steps) {
+		return des.Time(t.prog.Steps[t.step].Compute)
+	}
+	return des.Time(t.prog.FinalCompute)
+}
+
+// computeDone advances the thread after its compute phase: issue the next
+// memory command, or finish the packet.
+func (t *thread) computeDone() {
+	m := t.me.m
+	if t.step >= 0 && t.step < len(t.prog.Steps) {
+		s := &t.prog.Steps[t.step]
+		m.channels[s.Channel].submit(t, s)
+		return
+	}
+	if t.step == -1 {
+		// Overhead phase done; move to the first access (or straight to
+		// the tail for programs with no memory steps).
+		t.step = 0
+		if len(t.prog.Steps) > 0 {
+			s := &t.prog.Steps[0]
+			m.channels[s.Channel].submit(t, s)
+			return
+		}
+		// No accesses: fall through to the final compute phase by
+		// re-entering the ME queue.
+		t.me.enqueue(t)
+		return
+	}
+	// Packet complete.
+	m.donePackets++
+	lat := uint64(m.sim.Now() - t.started)
+	m.latencySum += lat
+	m.latencies = append(m.latencies, lat)
+	if m.assign(t) {
+		t.me.enqueue(t)
+	}
+}
+
+// submit places the thread's command on the channel, stalling on a full
+// FIFO.
+func (c *channel) submit(t *thread, s *nptrace.Step) {
+	cfg := &c.m.cfg.SRAM
+	occupancy := (cfg.CmdOverheadCycles + float64(s.Words)*cfg.WordCycles) / cfg.Headroom[c.idx]
+	req := request{t: t, cycles: des.Time(occupancy + 0.5)}
+	if len(c.queue) >= c.depth {
+		c.blocked = append(c.blocked, req)
+		return
+	}
+	c.queue = append(c.queue, req)
+	if !c.busy {
+		c.serve()
+	}
+}
+
+// serve processes the head-of-line command.
+func (c *channel) serve() {
+	if len(c.queue) == 0 {
+		c.busy = false
+		return
+	}
+	c.busy = true
+	req := c.queue[0]
+	c.busyTime += uint64(req.cycles)
+	c.m.sim.After(req.cycles, func(des.Time) {
+		c.queue = c.queue[1:]
+		// A FIFO slot opened: admit one blocked command.
+		if len(c.blocked) > 0 {
+			c.queue = append(c.queue, c.blocked[0])
+			c.blocked = c.blocked[1:]
+		}
+		// The data returns after the pipeline latency; the thread then
+		// becomes runnable for its next phase.
+		t := req.t
+		c.m.sim.After(des.Time(c.m.cfg.SRAM.LatencyCycles), func(des.Time) {
+			t.step++
+			t.me.enqueue(t)
+		})
+		c.serve()
+	})
+}
+
+func (m *machine) result() (Result, error) {
+	if m.donePackets == 0 {
+		return Result{}, fmt.Errorf("npsim: simulation completed no packets")
+	}
+	r := Result{Packets: m.donePackets, Cycles: uint64(m.sim.Now())}
+	seconds := float64(r.Cycles) / (m.cfg.ClockMHz * 1e6)
+	r.PPS = float64(r.Packets) / seconds
+	r.OfferedMbps = r.PPS * float64(m.cfg.PacketBytes) * 8 / 1e6
+	r.ThroughputMbps = r.OfferedMbps
+	if r.ThroughputMbps > m.cfg.MaxIngressMbps {
+		r.ThroughputMbps = m.cfg.MaxIngressMbps
+	}
+	for i, c := range m.channels {
+		r.ChannelUtilization[i] = float64(c.busyTime) / float64(r.Cycles)
+	}
+	var meBusy uint64
+	for _, e := range m.mes {
+		meBusy += e.busyTime
+	}
+	r.MEUtilization = float64(meBusy) / float64(uint64(len(m.mes))*r.Cycles)
+	r.AvgPacketCycles = float64(m.latencySum) / float64(r.Packets)
+	sort.Slice(m.latencies, func(i, j int) bool { return m.latencies[i] < m.latencies[j] })
+	r.P50PacketCycles = m.latencies[len(m.latencies)/2]
+	r.P99PacketCycles = m.latencies[len(m.latencies)*99/100]
+	return r, nil
+}

@@ -1,0 +1,252 @@
+package npsim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/memlayout"
+	"repro/internal/nptrace"
+)
+
+// prog builds a synthetic access program: n single-word reads on the given
+// channel, each preceded by `compute` ME cycles.
+func prog(n int, ch uint8, compute uint32) nptrace.Program {
+	p := nptrace.Program{}
+	for i := 0; i < n; i++ {
+		p.Steps = append(p.Steps, nptrace.Step{Compute: compute, Channel: ch, Words: 1})
+	}
+	return p
+}
+
+// spread builds a program whose n reads rotate across all four channels.
+func spread(n int, words uint16, compute uint32) nptrace.Program {
+	p := nptrace.Program{}
+	for i := 0; i < n; i++ {
+		p.Steps = append(p.Steps, nptrace.Step{Compute: compute, Channel: uint8(i % 4), Words: words})
+	}
+	return p
+}
+
+func run(t *testing.T, cfg Config, p nptrace.Program, packets int) Result {
+	t.Helper()
+	r, err := Run(cfg, []nptrace.Program{p}, packets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := DefaultConfig()
+	p := spread(26, 1, 10)
+	a := run(t, cfg, p, 5000)
+	b := run(t, cfg, p, 5000)
+	if a != b {
+		t.Fatalf("two identical runs differ:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestLatencyHiding(t *testing.T) {
+	// One thread is latency-bound; 8 threads on one ME overlap the waits.
+	p := spread(20, 1, 10)
+	cfg := DefaultConfig()
+	cfg.Threads = 1
+	one := run(t, cfg, p, 2000)
+	cfg.Threads = 8
+	eight := run(t, cfg, p, 2000)
+	speedup := eight.PPS / one.PPS
+	if speedup < 5 {
+		t.Errorf("8-thread speedup = %.2f, want >= 5 (latency hiding)", speedup)
+	}
+	if speedup > 8.5 {
+		t.Errorf("8-thread speedup = %.2f, impossibly superlinear", speedup)
+	}
+}
+
+func TestThreadScalingAcrossMEs(t *testing.T) {
+	// In the latency-bound regime throughput grows near-linearly with
+	// thread count across MEs (Figure 7's shape).
+	p := spread(26, 1, 10)
+	var prev float64
+	for _, threads := range []int{8, 16, 32, 64} {
+		cfg := DefaultConfig()
+		cfg.Threads = threads
+		cfg.MaxIngressMbps = 1e12 // uncapped for the scaling check
+		r := run(t, cfg, p, 4000)
+		if prev > 0 {
+			gain := r.PPS / prev
+			if gain < 1.6 {
+				t.Errorf("threads %d -> %d: gain %.2f, want near 2x", threads/2, threads, gain)
+			}
+		}
+		prev = r.PPS
+	}
+}
+
+func TestSingleChannelSaturates(t *testing.T) {
+	// All accesses on channel 0: its utilization approaches 1 and
+	// throughput is far below the spread-traffic case.
+	pSingle := prog(26, 0, 10)
+	pSpread := spread(26, 1, 10)
+	cfg := DefaultConfig()
+	cfg.MaxIngressMbps = 1e12
+	single := run(t, cfg, pSingle, 8000)
+	four := run(t, cfg, pSpread, 8000)
+	if single.ChannelUtilization[0] < 0.9 {
+		t.Errorf("channel 0 utilization = %.2f, want saturation", single.ChannelUtilization[0])
+	}
+	if single.ChannelUtilization[1] != 0 {
+		t.Errorf("channel 1 utilization = %.2f, want 0", single.ChannelUtilization[1])
+	}
+	if four.PPS < 1.3*single.PPS {
+		t.Errorf("spreading over 4 channels should beat 1 channel: %.0f vs %.0f pps", four.PPS, single.PPS)
+	}
+}
+
+func TestHeadroomScalesBandwidth(t *testing.T) {
+	p := prog(26, 0, 10)
+	cfg := DefaultConfig()
+	cfg.MaxIngressMbps = 1e12
+	full := run(t, cfg, p, 6000)
+	cfg.SRAM.Headroom = memlayout.Headroom{0.5, 1, 1, 1}
+	half := run(t, cfg, p, 6000)
+	ratio := half.PPS / full.PPS
+	if ratio < 0.4 || ratio > 0.65 {
+		t.Errorf("halving channel 0 headroom scaled saturated throughput by %.2f, want ~0.5", ratio)
+	}
+}
+
+func TestFIFODepthLimitsThroughput(t *testing.T) {
+	// A tiny command FIFO on a saturated channel stalls issuing threads.
+	p := prog(26, 0, 10)
+	deep := DefaultConfig()
+	deep.MaxIngressMbps = 1e12
+	shallow := deep
+	shallow.SRAM.FIFODepth = 1
+	rDeep := run(t, deep, p, 6000)
+	rShallow := run(t, shallow, p, 6000)
+	if rShallow.PPS > rDeep.PPS*1.001 {
+		t.Errorf("FIFO depth 1 (%.0f pps) should not beat depth 16 (%.0f pps)", rShallow.PPS, rDeep.PPS)
+	}
+}
+
+func TestBurstCostsMoreThanWord(t *testing.T) {
+	// 6-word commands occupy the channel longer than 1-word commands;
+	// under channel saturation throughput drops accordingly (the linear
+	// search effect, Figure 8).
+	cfg := DefaultConfig()
+	cfg.MaxIngressMbps = 1e12
+	word := run(t, cfg, prog(8, 0, 10), 6000)
+	burst := Result{}
+	{
+		p := nptrace.Program{}
+		for i := 0; i < 8; i++ {
+			p.Steps = append(p.Steps, nptrace.Step{Compute: 10, Channel: 0, Words: 6})
+		}
+		burst = run(t, cfg, p, 6000)
+	}
+	if burst.PPS >= word.PPS {
+		t.Errorf("6-word bursts (%.0f pps) should be slower than 1-word reads (%.0f pps)", burst.PPS, word.PPS)
+	}
+	wantRatio := (cfg.SRAM.CmdOverheadCycles + 1*cfg.SRAM.WordCycles) /
+		(cfg.SRAM.CmdOverheadCycles + 6*cfg.SRAM.WordCycles)
+	got := burst.PPS / word.PPS
+	if math.Abs(got-wantRatio) > 0.15 {
+		t.Errorf("burst/word throughput ratio = %.2f, want ~%.2f (channel-bound)", got, wantRatio)
+	}
+}
+
+func TestIngressCap(t *testing.T) {
+	// A trivial program would exceed the media interface; the headline
+	// number is capped while OfferedMbps keeps the model output.
+	p := spread(1, 1, 5)
+	cfg := DefaultConfig()
+	r := run(t, cfg, p, 5000)
+	if r.ThroughputMbps > cfg.MaxIngressMbps {
+		t.Errorf("throughput %.0f exceeds ingress cap", r.ThroughputMbps)
+	}
+	if r.OfferedMbps <= cfg.MaxIngressMbps {
+		t.Errorf("offered %.0f should exceed the cap for a trivial program", r.OfferedMbps)
+	}
+}
+
+func TestComputeOnlyPrograms(t *testing.T) {
+	// Programs with no memory steps exercise the ME-bound path.
+	p := nptrace.Program{FinalCompute: 100}
+	cfg := DefaultConfig()
+	cfg.Threads = 8
+	cfg.MaxIngressMbps = 1e12
+	r := run(t, cfg, p, 3000)
+	if r.Packets != 3000 {
+		t.Errorf("packets = %d", r.Packets)
+	}
+	if r.MEUtilization < 0.95 {
+		t.Errorf("ME utilization = %.2f, want ~1 for compute-bound work", r.MEUtilization)
+	}
+	// Throughput ≈ clock / (overhead + final + 2 context switches).
+	perPacket := float64(cfg.PerPacketOverheadCycles) + 100 + 2*float64(cfg.ContextSwitchCycles)
+	want := cfg.ClockMHz * 1e6 / perPacket
+	if math.Abs(r.PPS-want)/want > 0.05 {
+		t.Errorf("compute-bound PPS = %.0f, want ~%.0f", r.PPS, want)
+	}
+}
+
+func TestAccountingConsistency(t *testing.T) {
+	cfg := DefaultConfig()
+	r := run(t, cfg, spread(26, 1, 10), 5000)
+	if r.Packets != 5000 {
+		t.Errorf("packets = %d", r.Packets)
+	}
+	if r.AvgPacketCycles <= 0 {
+		t.Errorf("avg packet cycles = %v", r.AvgPacketCycles)
+	}
+	for c, u := range r.ChannelUtilization {
+		if u < 0 || u > 1.000001 {
+			t.Errorf("channel %d utilization = %v out of [0,1]", c, u)
+		}
+	}
+	if r.MEUtilization <= 0 || r.MEUtilization > 1.000001 {
+		t.Errorf("ME utilization = %v", r.MEUtilization)
+	}
+	// Little's-law sanity: threads >= PPS × avg latency (in seconds).
+	concurrency := r.PPS * r.AvgPacketCycles / (cfg.ClockMHz * 1e6)
+	if concurrency > float64(cfg.Threads)*1.001 {
+		t.Errorf("implied concurrency %.1f exceeds %d threads", concurrency, cfg.Threads)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := Run(DefaultConfig(), nil, 100); err == nil {
+		t.Error("no programs should fail")
+	}
+	bad := DefaultConfig()
+	bad.Threads = -1
+	if _, err := Run(bad, []nptrace.Program{spread(1, 1, 1)}, 100); err == nil {
+		t.Error("negative threads should fail")
+	}
+	worse := DefaultConfig()
+	worse.SRAM.Headroom = memlayout.Headroom{2, 1, 1, 1}
+	if _, err := Run(worse, []nptrace.Program{spread(1, 1, 1)}, 100); err == nil {
+		t.Error("headroom > 1 should fail")
+	}
+}
+
+func TestLatencyPercentiles(t *testing.T) {
+	cfg := DefaultConfig()
+	r := run(t, cfg, spread(26, 1, 10), 5000)
+	if r.P50PacketCycles == 0 || r.P99PacketCycles == 0 {
+		t.Fatalf("percentiles not computed: p50=%d p99=%d", r.P50PacketCycles, r.P99PacketCycles)
+	}
+	if r.P99PacketCycles < r.P50PacketCycles {
+		t.Errorf("p99 (%d) below p50 (%d)", r.P99PacketCycles, r.P50PacketCycles)
+	}
+	// The mean must sit within the distribution.
+	if r.AvgPacketCycles < float64(r.P50PacketCycles)/4 || r.AvgPacketCycles > float64(r.P99PacketCycles)*4 {
+		t.Errorf("mean %.0f implausible vs p50 %d / p99 %d", r.AvgPacketCycles, r.P50PacketCycles, r.P99PacketCycles)
+	}
+	// A saturated single channel must show a higher tail than spread traffic.
+	sat := run(t, cfg, prog(26, 0, 10), 5000)
+	if sat.P99PacketCycles <= r.P99PacketCycles {
+		t.Errorf("saturated p99 (%d) should exceed spread p99 (%d)", sat.P99PacketCycles, r.P99PacketCycles)
+	}
+}

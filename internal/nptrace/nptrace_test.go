@@ -1,0 +1,99 @@
+package nptrace
+
+import (
+	"reflect"
+	"testing"
+)
+
+// fakeReader returns predictable words and counts reads.
+type fakeReader struct {
+	reads int
+}
+
+func (f *fakeReader) Read(ch uint8, addr uint32, words int) []uint32 {
+	f.reads++
+	out := make([]uint32, words)
+	for i := range out {
+		out[i] = uint32(ch)<<24 | addr + uint32(i)
+	}
+	return out
+}
+
+func TestRecorderBuildsProgram(t *testing.T) {
+	f := &fakeReader{}
+	r := NewRecorder(f)
+	r.Compute(10)
+	if got := r.Read(2, 100, 2); !reflect.DeepEqual(got, []uint32{2<<24 | 100, 2<<24 | 101}) {
+		t.Errorf("Read passthrough = %v", got)
+	}
+	r.Compute(3)
+	r.Compute(4)
+	r.Read(0, 5, 1)
+	r.Compute(7)
+	p := r.Finish(42)
+
+	want := Program{
+		Steps: []Step{
+			{Compute: 10, Channel: 2, Addr: 100, Words: 2},
+			{Compute: 7, Channel: 0, Addr: 5, Words: 1},
+		},
+		FinalCompute: 7,
+		Result:       42,
+	}
+	if !reflect.DeepEqual(p, want) {
+		t.Errorf("program = %+v, want %+v", p, want)
+	}
+	if p.Accesses() != 2 || p.Words() != 3 {
+		t.Errorf("Accesses=%d Words=%d", p.Accesses(), p.Words())
+	}
+	if p.ComputeCycles() != 10+7+7 {
+		t.Errorf("ComputeCycles = %d", p.ComputeCycles())
+	}
+	if f.reads != 2 {
+		t.Errorf("underlying reads = %d", f.reads)
+	}
+}
+
+func TestRecorderResetsAfterFinish(t *testing.T) {
+	r := NewRecorder(&fakeReader{})
+	r.Compute(5)
+	r.Read(1, 1, 1)
+	_ = r.Finish(0)
+	r.Read(3, 9, 4)
+	p := r.Finish(-1)
+	if len(p.Steps) != 1 || p.Steps[0].Compute != 0 || p.Steps[0].Channel != 3 {
+		t.Errorf("recorder not reset: %+v", p)
+	}
+	if p.Result != -1 {
+		t.Errorf("result = %d", p.Result)
+	}
+}
+
+func TestNullMem(t *testing.T) {
+	f := &fakeReader{}
+	m := NullMem{R: f}
+	m.Compute(1000) // discarded
+	if got := m.Read(1, 7, 1); got[0] != 1<<24|7 {
+		t.Errorf("Read = %v", got)
+	}
+	if f.reads != 1 {
+		t.Errorf("reads = %d", f.reads)
+	}
+}
+
+func TestProgramString(t *testing.T) {
+	p := Program{Steps: []Step{{Words: 6}}, Result: 3}
+	s := p.String()
+	if s == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestDefaultCosts(t *testing.T) {
+	// The POP_COUNT ablation depends on the hardware instruction being
+	// far cheaper than the RISC emulation (§5.4: >90% reduction).
+	if DefaultCosts.PopCount*10 >= DefaultCosts.PopCountRISC {
+		t.Errorf("POP_COUNT (%d) should be >10x cheaper than RISC emulation (%d)",
+			DefaultCosts.PopCount, DefaultCosts.PopCountRISC)
+	}
+}

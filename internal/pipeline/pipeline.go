@@ -1,0 +1,204 @@
+// Package pipeline models the paper's *complete* packet-processing
+// application (§5, Figure 5): Ethernet receive, packet classification,
+// scheduling, and CSIX transmit, mapped onto the IXP2850's sixteen
+// microengines (Table 3). The classification stage is the part under test;
+// the rest of the application shows up as (a) the microengine budget
+// available to classification and (b) the SRAM bandwidth headroom left per
+// channel (Table 4), which this package feeds into the NP simulator.
+//
+// It also implements the two task-partitioning strategies of Table 2:
+//
+//   - Multiprocessing: every classification ME runs the whole lookup;
+//     adding MEs adds threads. This is the mapping the paper uses for its
+//     headline numbers.
+//   - Context pipelining: the lookup's access program is split into stages,
+//     each owned by one ME, with per-packet state passed through scratch
+//     rings. Stage imbalance and ring overhead make this mapping slower for
+//     classification, which is the paper's argument for multiprocessing.
+package pipeline
+
+import (
+	"fmt"
+
+	"repro/internal/memlayout"
+	"repro/internal/npsim"
+	"repro/internal/nptrace"
+)
+
+// MERole names a stage of the application.
+type MERole string
+
+// Application stages (Figure 5).
+const (
+	RoleReceive  MERole = "Receive"
+	RoleProcess  MERole = "Processing"
+	RoleSchedule MERole = "Scheduling"
+	RoleTransmit MERole = "Transmit"
+)
+
+// MEAllocation is one row of Table 3: how many of the sixteen microengines
+// each stage owns.
+type MEAllocation struct {
+	Role MERole
+	MEs  int
+}
+
+// AppConfig describes the application mapping.
+type AppConfig struct {
+	// ClassifyMEs is the number of processing MEs running classification
+	// (the paper sweeps 1..9).
+	ClassifyMEs int
+	// ThreadsPerME is 8 on the IXP2850.
+	ThreadsPerME int
+	// ReservedThreads are processing threads not used for classification
+	// (the paper reserves one for exception packets).
+	ReservedThreads int
+	// Headroom is the per-channel SRAM bandwidth left over by the
+	// non-classification stages (Table 4).
+	Headroom memlayout.Headroom
+	// NP is the underlying machine model; its Threads and SRAM.Headroom
+	// fields are overwritten from the fields above.
+	NP npsim.Config
+}
+
+// DefaultAppConfig is the paper's full configuration: 9 classification MEs
+// × 8 threads − 1 reserved = 71 threads, Table 4 headroom.
+func DefaultAppConfig() AppConfig {
+	return AppConfig{
+		ClassifyMEs:     9,
+		ThreadsPerME:    8,
+		ReservedThreads: 1,
+		Headroom:        memlayout.PaperHeadroom,
+		NP:              npsim.DefaultConfig(),
+	}
+}
+
+// Allocation returns the Table 3 row set for this configuration.
+func (c AppConfig) Allocation() []MEAllocation {
+	return []MEAllocation{
+		{RoleReceive, 2},
+		{RoleProcess, c.ClassifyMEs},
+		{RoleSchedule, 3},
+		{RoleTransmit, 2},
+	}
+}
+
+// Threads returns the classification thread count (Figure 7's x-axis).
+func (c AppConfig) Threads() int {
+	return c.ClassifyMEs*c.ThreadsPerME - c.ReservedThreads
+}
+
+func (c *AppConfig) fillDefaults() error {
+	d := DefaultAppConfig()
+	if c.ClassifyMEs == 0 {
+		c.ClassifyMEs = d.ClassifyMEs
+	}
+	if c.ThreadsPerME == 0 {
+		c.ThreadsPerME = d.ThreadsPerME
+	}
+	if c.Headroom == (memlayout.Headroom{}) {
+		c.Headroom = d.Headroom
+	}
+	if c.ClassifyMEs < 1 || c.ClassifyMEs > 9 {
+		return fmt.Errorf("pipeline: classify MEs %d out of [1,9] (Table 3 leaves 9 processing MEs)", c.ClassifyMEs)
+	}
+	if c.Threads() < 1 {
+		return fmt.Errorf("pipeline: no classification threads left after reservation")
+	}
+	return nil
+}
+
+// RunMultiprocessing simulates the application with the multiprocessing
+// mapping: every classification thread executes whole access programs.
+func RunMultiprocessing(cfg AppConfig, programs []nptrace.Program, packets int) (npsim.Result, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return npsim.Result{}, err
+	}
+	np := cfg.NP
+	np.Threads = cfg.Threads()
+	np.ThreadsPerME = cfg.ThreadsPerME
+	np.SRAM.Headroom = cfg.Headroom
+	return npsim.Run(np, programs, packets)
+}
+
+// ringOverheadCycles is the per-hop cost of passing packet state between
+// pipeline stages through an on-chip scratch ring (put on one side, get on
+// the other, plus re-loading per-packet state into local memory).
+const ringOverheadCycles = 40
+
+// PipelineResult reports a context-pipelining simulation.
+type PipelineResult struct {
+	// ThroughputMbps is the pipeline throughput: the slowest stage.
+	ThroughputMbps float64
+	// BottleneckStage is the index of the slowest stage.
+	BottleneckStage int
+	// Stages holds each stage's standalone result.
+	Stages []npsim.Result
+}
+
+// RunContextPipelining simulates the context-pipelining mapping: the access
+// program is cut into ClassifyMEs contiguous stages, stage i owning the
+// i-th slice of every packet's accesses plus the ring hand-off overhead.
+// The pipeline runs at the speed of its slowest stage (Table 2's
+// disadvantage: "per-packet state has to be passed from one ME to the
+// other").
+func RunContextPipelining(cfg AppConfig, programs []nptrace.Program, packets int) (PipelineResult, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return PipelineResult{}, err
+	}
+	stages := cfg.ClassifyMEs
+	out := PipelineResult{Stages: make([]npsim.Result, stages)}
+	best := -1.0
+	for s := 0; s < stages; s++ {
+		stagePrograms := make([]nptrace.Program, len(programs))
+		for i := range programs {
+			stagePrograms[i] = stageSlice(&programs[i], s, stages)
+		}
+		np := cfg.NP
+		np.Threads = cfg.ThreadsPerME // one ME per stage
+		np.ThreadsPerME = cfg.ThreadsPerME
+		np.SRAM.Headroom = cfg.Headroom
+		r, err := npsim.Run(np, stagePrograms, packets)
+		if err != nil {
+			return PipelineResult{}, err
+		}
+		out.Stages[s] = r
+		if best < 0 || r.OfferedMbps < best {
+			best = r.OfferedMbps
+			out.BottleneckStage = s
+		}
+	}
+	out.ThroughputMbps = best
+	if out.ThroughputMbps > cfg.NP.MaxIngressMbps && cfg.NP.MaxIngressMbps > 0 {
+		out.ThroughputMbps = cfg.NP.MaxIngressMbps
+	}
+	return out, nil
+}
+
+// stageSlice extracts stage s of the program: its share of the access
+// steps, bracketed by ring-get and ring-put overhead (the first stage has
+// no get; the last has no put toward another classification ME).
+func stageSlice(p *nptrace.Program, s, stages int) nptrace.Program {
+	n := len(p.Steps)
+	lo := n * s / stages
+	hi := n * (s + 1) / stages
+	out := nptrace.Program{
+		Steps:  append([]nptrace.Step(nil), p.Steps[lo:hi]...),
+		Result: p.Result,
+	}
+	var overhead uint32
+	if s > 0 {
+		overhead += ringOverheadCycles // ring get
+	}
+	if s < stages-1 {
+		overhead += ringOverheadCycles // ring put
+	} else {
+		out.FinalCompute += p.FinalCompute
+	}
+	if len(out.Steps) > 0 {
+		out.Steps[0].Compute += overhead
+	} else {
+		out.FinalCompute += overhead
+	}
+	return out
+}

@@ -1,0 +1,134 @@
+package pipeline
+
+import (
+	"testing"
+
+	"repro/internal/expcuts"
+	"repro/internal/memlayout"
+	"repro/internal/nptrace"
+	"repro/internal/pktgen"
+	"repro/internal/rulegen"
+)
+
+func testPrograms(t *testing.T) []nptrace.Program {
+	t.Helper()
+	rs, err := rulegen.Generate(rulegen.Config{Kind: rulegen.CoreRouter, Size: 200, Seed: 55})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := expcuts.New(rs, expcuts.Config{Headroom: memlayout.PaperHeadroom})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := pktgen.Generate(rs, pktgen.Config{Count: 500, Seed: 56, MatchFraction: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := make([]nptrace.Program, len(tr.Headers))
+	for i, h := range tr.Headers {
+		ps[i] = tree.Program(h)
+	}
+	return ps
+}
+
+func TestAllocationTable(t *testing.T) {
+	cfg := DefaultAppConfig()
+	alloc := cfg.Allocation()
+	total := 0
+	for _, a := range alloc {
+		total += a.MEs
+	}
+	if total != 16 {
+		t.Errorf("ME allocation sums to %d, want 16 (the IXP2850's ME count)", total)
+	}
+	if alloc[1].Role != RoleProcess || alloc[1].MEs != 9 {
+		t.Errorf("processing allocation = %+v", alloc[1])
+	}
+}
+
+func TestThreadsFormula(t *testing.T) {
+	cfg := DefaultAppConfig()
+	if cfg.Threads() != 71 {
+		t.Errorf("Threads = %d, want 71 (9 MEs × 8 − 1 reserved)", cfg.Threads())
+	}
+	cfg.ClassifyMEs = 1
+	if cfg.Threads() != 7 {
+		t.Errorf("Threads = %d, want 7", cfg.Threads())
+	}
+}
+
+func TestMultiprocessingScalesWithMEs(t *testing.T) {
+	ps := testPrograms(t)
+	var prev float64
+	for _, mes := range []int{1, 3, 9} {
+		cfg := DefaultAppConfig()
+		cfg.ClassifyMEs = mes
+		r, err := RunMultiprocessing(cfg, ps, 6000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.OfferedMbps <= prev {
+			t.Errorf("MEs=%d: %.0f Mbps not above previous %.0f", mes, r.OfferedMbps, prev)
+		}
+		prev = r.OfferedMbps
+	}
+}
+
+func TestContextPipeliningIsSlower(t *testing.T) {
+	// Table 2: for classification, multiprocessing beats context
+	// pipelining (ring overhead + stage imbalance).
+	ps := testPrograms(t)
+	cfg := DefaultAppConfig()
+	mp, err := RunMultiprocessing(cfg, ps, 6000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := RunContextPipelining(cfg, ps, 6000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.ThroughputMbps >= mp.ThroughputMbps {
+		t.Errorf("context pipelining (%.0f) should not beat multiprocessing (%.0f)",
+			cp.ThroughputMbps, mp.ThroughputMbps)
+	}
+	if len(cp.Stages) != cfg.ClassifyMEs {
+		t.Errorf("stages = %d, want %d", len(cp.Stages), cfg.ClassifyMEs)
+	}
+	if cp.BottleneckStage < 0 || cp.BottleneckStage >= len(cp.Stages) {
+		t.Errorf("bottleneck stage %d out of range", cp.BottleneckStage)
+	}
+}
+
+func TestStageSliceConservesWork(t *testing.T) {
+	ps := testPrograms(t)
+	const stages = 5
+	for i := range ps {
+		total := 0
+		var tail uint32
+		for s := 0; s < stages; s++ {
+			sl := stageSlice(&ps[i], s, stages)
+			total += len(sl.Steps)
+			tail = sl.FinalCompute
+		}
+		if total != len(ps[i].Steps) {
+			t.Fatalf("program %d: stages carry %d steps, original %d", i, total, len(ps[i].Steps))
+		}
+		if tail < ps[i].FinalCompute {
+			t.Fatalf("program %d: final compute lost", i)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	ps := testPrograms(t)
+	cfg := DefaultAppConfig()
+	cfg.ClassifyMEs = 10
+	if _, err := RunMultiprocessing(cfg, ps, 100); err == nil {
+		t.Error("10 classify MEs should be rejected (only 9 processing MEs exist)")
+	}
+	cfg = DefaultAppConfig()
+	cfg.ClassifyMEs = -1
+	if _, err := RunContextPipelining(cfg, ps, 100); err == nil {
+		t.Error("negative MEs should be rejected")
+	}
+}

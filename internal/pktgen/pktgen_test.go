@@ -1,0 +1,122 @@
+package pktgen
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/rulegen"
+	"repro/internal/rules"
+)
+
+func testSet(t *testing.T) *rules.RuleSet {
+	t.Helper()
+	s, err := rulegen.Generate(rulegen.Config{Kind: rulegen.Firewall, Size: 60, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	rs := testSet(t)
+	cfg := Config{Count: 500, Seed: 9, MatchFraction: 0.8}
+	a, err := Generate(rs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(rs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Headers, b.Headers) {
+		t.Fatal("same config must generate identical traces")
+	}
+}
+
+func TestGenerateCountAndBits(t *testing.T) {
+	rs := testSet(t)
+	tr, err := Generate(rs, Config{Count: 123, Seed: 1, MatchFraction: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 123 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	if tr.Bits() != 123*64*8 {
+		t.Errorf("Bits = %d", tr.Bits())
+	}
+}
+
+func TestGenerateRejectsBadConfig(t *testing.T) {
+	rs := testSet(t)
+	if _, err := Generate(rs, Config{Count: 0, Seed: 1}); err == nil {
+		t.Error("count 0 should fail")
+	}
+	if _, err := Generate(rs, Config{Count: 5, Seed: 1, MatchFraction: 1.5}); err == nil {
+		t.Error("bad match fraction should fail")
+	}
+	empty := rules.NewRuleSet("empty", nil)
+	if _, err := Generate(empty, Config{Count: 5, Seed: 1, MatchFraction: 0.5}); err == nil {
+		t.Error("directed generation from empty set should fail")
+	}
+}
+
+func TestMatchFractionIsHonored(t *testing.T) {
+	rs := testSet(t)
+	tr, err := Generate(rs, Config{Count: 5000, Seed: 2, MatchFraction: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With MatchFraction 1 every header is sampled from some rule's box,
+	// so every header matches at least one rule.
+	for i, h := range tr.Headers {
+		if rs.Match(h) < 0 {
+			t.Fatalf("header %d (%v) matches no rule despite MatchFraction=1", i, h)
+		}
+	}
+}
+
+func TestSampleRuleStaysInBox(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		r := rulegen.RandomRule(rng)
+		h := SampleRule(rng, &r)
+		if !r.Matches(h) {
+			t.Fatalf("sampled header %v does not match its rule %v", h, &r)
+		}
+	}
+}
+
+func TestSampleRuleFullDomains(t *testing.T) {
+	// Full wildcard rule: sampling must not overflow on the 2^32 span.
+	rng := rand.New(rand.NewSource(4))
+	r := rules.Rule{SrcPort: rules.FullPortRange, DstPort: rules.FullPortRange, Proto: rules.AnyProto}
+	sawHighIP := false
+	for i := 0; i < 1000; i++ {
+		h := SampleRule(rng, &r)
+		if !r.Matches(h) {
+			t.Fatal("wildcard rule must match every sampled header")
+		}
+		if h.SrcIP > 1<<31 {
+			sawHighIP = true
+		}
+	}
+	if !sawHighIP {
+		t.Error("sampling never produced a high address; span arithmetic looks truncated")
+	}
+}
+
+func TestRandomHeaderProtocolBias(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tcp := 0
+	const n = 5000
+	for i := 0; i < n; i++ {
+		if RandomHeader(rng).Proto == rules.ProtoTCP {
+			tcp++
+		}
+	}
+	if frac := float64(tcp) / n; frac < 0.5 {
+		t.Errorf("TCP fraction = %.2f, want >= 0.5 (traffic-like bias)", frac)
+	}
+}

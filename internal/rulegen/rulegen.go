@@ -1,0 +1,425 @@
+// Package rulegen generates deterministic synthetic rule sets reproducing
+// the statistical structure of the paper's proprietary real-life sets
+// (firewall sets FW01–FW03 and core-router sets CR01–CR04 from Qi et al.
+// [6][22]). The real sets are not public, so this package is the documented
+// substitution (DESIGN.md §2): decision-tree and space-mapping behaviour is
+// driven by prefix-length distributions, wildcard density and rule overlap,
+// all of which the generators control; the published set *names and sizes*
+// are preserved so the experiment drivers can print the paper's rows.
+//
+// Firewall sets are small with heavy wildcarding: protected-server rules
+// (wildcard source, narrow destination, well-known service ports), a few
+// egress rules, and a trailing default deny. Core-router sets are dominated
+// by source/destination prefix pairs drawn from skewed synthetic prefix
+// trees, with mostly wildcarded ports — the structure of backbone ACLs.
+//
+// All generation is seeded; the same (kind, size, seed) triple always yields
+// the identical rule set, byte for byte.
+package rulegen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/rules"
+)
+
+// Kind selects the statistical family of a generated rule set.
+type Kind int
+
+// Rule set families.
+const (
+	// Firewall mimics enterprise edge ACLs (FW01–FW03).
+	Firewall Kind = iota
+	// CoreRouter mimics backbone router ACLs (CR01–CR04).
+	CoreRouter
+	// Random generates unstructured uniform rules; used only by property
+	// tests to stress classifiers away from real-life structure.
+	Random
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Firewall:
+		return "firewall"
+	case CoreRouter:
+		return "core-router"
+	case Random:
+		return "random"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Config parameterizes generation.
+type Config struct {
+	Kind Kind
+	// Size is the exact number of rules to produce.
+	Size int
+	// Seed makes generation deterministic.
+	Seed int64
+	// Name labels the resulting set; defaults to "<kind>-<size>".
+	Name string
+}
+
+// Generate produces a rule set per the configuration.
+func Generate(cfg Config) (*rules.RuleSet, error) {
+	if cfg.Size <= 0 {
+		return nil, fmt.Errorf("rulegen: size must be positive, got %d", cfg.Size)
+	}
+	name := cfg.Name
+	if name == "" {
+		name = fmt.Sprintf("%s-%d", cfg.Kind, cfg.Size)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var rs []rules.Rule
+	switch cfg.Kind {
+	case Firewall:
+		rs = genFirewall(rng, cfg.Size)
+	case CoreRouter:
+		rs = genCoreRouter(rng, cfg.Size)
+	case Random:
+		rs = genRandom(rng, cfg.Size)
+	default:
+		return nil, fmt.Errorf("rulegen: unknown kind %v", cfg.Kind)
+	}
+	set := rules.NewRuleSet(name, rs)
+	if err := set.Validate(); err != nil {
+		return nil, fmt.Errorf("rulegen: generated invalid set: %w", err)
+	}
+	return set, nil
+}
+
+// wellKnownServices are (port, proto) pairs weighted toward the services
+// that dominate real firewall policies.
+var wellKnownServices = []struct {
+	port  uint16
+	proto uint8
+}{
+	{80, rules.ProtoTCP}, {443, rules.ProtoTCP}, {25, rules.ProtoTCP},
+	{22, rules.ProtoTCP}, {21, rules.ProtoTCP}, {110, rules.ProtoTCP},
+	{143, rules.ProtoTCP}, {3389, rules.ProtoTCP}, {8080, rules.ProtoTCP},
+	{53, rules.ProtoUDP}, {123, rules.ProtoUDP}, {161, rules.ProtoUDP},
+	{514, rules.ProtoUDP}, {1812, rules.ProtoUDP},
+}
+
+// genFirewall produces n firewall-style rules, ending with a default deny.
+func genFirewall(rng *rand.Rand, n int) []rules.Rule {
+	// Protected networks: a couple of site prefixes subdivided into
+	// server subnets.
+	sites := []rules.Prefix{
+		{Addr: 0xC0A80000, Len: 16}, // 192.168.0.0/16
+		{Addr: 0x0A000000, Len: 8},  // 10.0.0.0/8
+		{Addr: 0xAC100000, Len: 12}, // 172.16.0.0/12
+	}
+	subnet := func() rules.Prefix {
+		site := sites[rng.Intn(len(sites))]
+		extra := uint8(8 + rng.Intn(3)*8) // /16 -> /24, /8 -> /16 or /24...
+		l := site.Len + extra
+		if l > 32 {
+			l = 32
+		}
+		// Keep the site's top bits, randomize the next l-site.Len bits,
+		// zero the host bits.
+		rnd := rng.Uint32()
+		mask := hiMask32(uint(l))
+		siteMask := hiMask32(uint(site.Len))
+		a := (site.Addr & siteMask) | (rnd &^ siteMask & mask)
+		return rules.Prefix{Addr: a, Len: l}
+	}
+	host := func() rules.Prefix {
+		p := subnet()
+		p.Len = 32
+		p.Addr |= rng.Uint32() & loMask32(8)
+		return p
+	}
+
+	out := make([]rules.Rule, 0, n)
+	seen := make(map[rules.Rule]bool)
+	add := func(r rules.Rule) bool {
+		if len(out) >= n-1 { // reserve one slot for the default rule
+			return false
+		}
+		if seen[r] {
+			return true
+		}
+		seen[r] = true
+		out = append(out, r)
+		return true
+	}
+
+	for len(out) < n-1 {
+		switch roll := rng.Intn(100); {
+		case roll < 55:
+			// Inbound service permit: any source to a server subnet/host
+			// on a well-known service.
+			svc := wellKnownServices[rng.Intn(len(wellKnownServices))]
+			dst := subnet()
+			if rng.Intn(3) == 0 {
+				dst = host()
+			}
+			add(rules.Rule{
+				SrcIP:   rules.Prefix{},
+				DstIP:   dst,
+				SrcPort: rules.FullPortRange,
+				DstPort: rules.PortRange{Lo: svc.port, Hi: svc.port},
+				Proto:   rules.ProtoMatch{Value: svc.proto},
+				Action:  rules.ActionPermit,
+			})
+		case roll < 70:
+			// Block rule: a bad external /16–/24 toward anything.
+			l := uint8(16 + rng.Intn(2)*8)
+			add(rules.Rule{
+				SrcIP:   rules.Prefix{Addr: rng.Uint32() & hiMask32(uint(l)), Len: l},
+				DstIP:   rules.Prefix{},
+				SrcPort: rules.FullPortRange,
+				DstPort: rules.FullPortRange,
+				Proto:   rules.AnyProto,
+				Action:  rules.ActionDeny,
+			})
+		case roll < 85:
+			// Egress rule: internal subnet to anywhere on a port range
+			// (ephemeral or a service band).
+			var pr rules.PortRange
+			if rng.Intn(2) == 0 {
+				pr = rules.PortRange{Lo: 1024, Hi: 65535}
+			} else {
+				lo := uint16(rng.Intn(1000) + 1)
+				pr = rules.PortRange{Lo: lo, Hi: lo + uint16(rng.Intn(200))}
+			}
+			add(rules.Rule{
+				SrcIP:   subnet(),
+				DstIP:   rules.Prefix{},
+				SrcPort: rules.FullPortRange,
+				DstPort: pr,
+				Proto:   rules.ProtoMatch{Value: rules.ProtoTCP},
+				Action:  rules.ActionPermit,
+			})
+		case roll < 93:
+			// Management rule: exact host pair on SSH/SNMP-like ports.
+			svc := wellKnownServices[rng.Intn(len(wellKnownServices))]
+			add(rules.Rule{
+				SrcIP:   host(),
+				DstIP:   host(),
+				SrcPort: rules.FullPortRange,
+				DstPort: rules.PortRange{Lo: svc.port, Hi: svc.port},
+				Proto:   rules.ProtoMatch{Value: svc.proto},
+				Action:  rules.ActionPermit,
+			})
+		default:
+			// ICMP policy.
+			add(rules.Rule{
+				SrcIP:   rules.Prefix{},
+				DstIP:   subnet(),
+				SrcPort: rules.FullPortRange,
+				DstPort: rules.FullPortRange,
+				Proto:   rules.ProtoMatch{Value: rules.ProtoICMP},
+				Action:  rules.Action(rng.Intn(2)), // permit or deny
+			})
+		}
+	}
+	// Trailing default deny, as real firewall policies end.
+	out = append(out, rules.Rule{
+		SrcPort: rules.FullPortRange,
+		DstPort: rules.FullPortRange,
+		Proto:   rules.AnyProto,
+		Action:  rules.ActionDeny,
+	})
+	return out
+}
+
+// genCoreRouter produces n core-router-style rules: prefix-pair dominated,
+// drawn from skewed synthetic prefix trees.
+func genCoreRouter(rng *rand.Rand, n int) []rules.Rule {
+	// Build two prefix pools (sources and destinations) the way backbone
+	// tables look: a modest number of /8 roots, each fanned out into
+	// subprefixes with lengths concentrated at /16–/24. Real ACLs reuse
+	// the same prefixes across many rules, which is what lets decision
+	// trees share nodes; the pool is therefore much smaller than the rule
+	// count.
+	srcPool := genPrefixPool(rng, 6, n)
+	dstPool := genPrefixPool(rng, 6, n)
+
+	out := make([]rules.Rule, 0, n)
+	seen := make(map[rules.Rule]bool)
+	add := func(r rules.Rule) {
+		if len(out) < n && !seen[r] {
+			seen[r] = true
+			out = append(out, r)
+		}
+	}
+	pair := func() (rules.Prefix, rules.Prefix) {
+		src := srcPool[rng.Intn(len(srcPool))]
+		dst := dstPool[rng.Intn(len(dstPool))]
+		switch roll := rng.Intn(100); {
+		case roll < 8:
+			// Wildcard source (destination-only ACL entry).
+			src = rules.Prefix{}
+		case roll < 13:
+			// Wildcard destination.
+			dst = rules.Prefix{}
+		}
+		return src, dst
+	}
+	for len(out) < n {
+		if rng.Intn(100) < 45 {
+			// Service cluster: real ACLs stack several service-specific
+			// rules on one prefix pair, usually closed by a pair-wide
+			// catch-all. These clusters are what fills decision-tree
+			// leaves up to binth.
+			src, dst := pair()
+			k := 4 + rng.Intn(4)
+			for i := 0; i < k; i++ {
+				svc := wellKnownServices[rng.Intn(len(wellKnownServices))]
+				add(rules.Rule{
+					SrcIP:   src,
+					DstIP:   dst,
+					SrcPort: rules.FullPortRange,
+					DstPort: rules.PortRange{Lo: svc.port, Hi: svc.port},
+					Proto:   rules.ProtoMatch{Value: svc.proto},
+					Action:  rules.Action(2 + rng.Intn(4)),
+				})
+			}
+			add(rules.Rule{
+				SrcIP:   src,
+				DstIP:   dst,
+				SrcPort: rules.FullPortRange,
+				DstPort: rules.FullPortRange,
+				Proto:   rules.AnyProto,
+				Action:  rules.Action(2 + rng.Intn(4)),
+			})
+			continue
+		}
+		src, dst := pair()
+		r := rules.Rule{
+			SrcIP:   src,
+			DstIP:   dst,
+			SrcPort: rules.FullPortRange,
+			DstPort: rules.FullPortRange,
+			Proto:   rules.ProtoMatch{Value: rules.ProtoTCP},
+			Action:  rules.Action(2 + rng.Intn(4)), // traffic classes
+		}
+		switch roll := rng.Intn(100); {
+		case roll < 20:
+			// Exact service port on the destination.
+			svc := wellKnownServices[rng.Intn(len(wellKnownServices))]
+			r.DstPort = rules.PortRange{Lo: svc.port, Hi: svc.port}
+			r.Proto = rules.ProtoMatch{Value: svc.proto}
+		case roll < 38:
+			// Port band (e.g. P2P ranges that backbone ACLs police).
+			lo := uint16(rng.Intn(60000))
+			r.DstPort = rules.PortRange{Lo: lo, Hi: lo + uint16(rng.Intn(4000)+1)}
+		case roll < 40:
+			r.Proto = rules.ProtoMatch{Value: rules.ProtoUDP}
+		case roll < 36:
+			r.Proto = rules.AnyProto
+		}
+		add(r)
+	}
+	return out
+}
+
+// genPrefixPool builds a pool of IPv4 prefixes rooted at `roots` random /8s,
+// with lengths concentrated at /16–/24 (the published CR prefix-length
+// shape). Pool size scales with the rule count.
+func genPrefixPool(rng *rand.Rand, roots, n int) []rules.Prefix {
+	size := n/3 + 24
+	pool := make([]rules.Prefix, 0, size)
+	rootAddrs := make([]uint32, roots)
+	for i := range rootAddrs {
+		rootAddrs[i] = uint32(rng.Intn(223)+1) << 24 // class A–C space
+	}
+	for len(pool) < size {
+		root := rootAddrs[rng.Intn(roots)]
+		// Length distribution: strongly clustered at the byte-aligned
+		// lengths /16 and /24 with modest tails, as published
+		// route-table and ACL studies report.
+		var l uint8
+		switch roll := rng.Intn(100); {
+		case roll < 5:
+			l = 8
+		case roll < 12:
+			l = uint8(12 + rng.Intn(4)) // 12..15
+		case roll < 40:
+			l = 16
+		case roll < 52:
+			l = uint8(17 + rng.Intn(7)) // 17..23
+		case roll < 90:
+			l = 24
+		case roll < 96:
+			l = uint8(25 + rng.Intn(7)) // 25..31
+		default:
+			l = 32
+		}
+		addr := root | rng.Uint32()&loMask32(24)
+		pool = append(pool, rules.Prefix{Addr: addr & hiMask32(uint(l)), Len: l})
+	}
+	return pool
+}
+
+// genRandom produces unstructured rules for property testing.
+func genRandom(rng *rand.Rand, n int) []rules.Rule {
+	out := make([]rules.Rule, n)
+	for i := range out {
+		out[i] = RandomRule(rng)
+	}
+	return out
+}
+
+// RandomRule draws one uniform unstructured rule. Exported for property
+// tests in other packages.
+func RandomRule(rng *rand.Rand) rules.Rule {
+	randPrefix := func() rules.Prefix {
+		l := uint8(rng.Intn(33))
+		return rules.Prefix{Addr: rng.Uint32() & hiMask32(uint(l)), Len: l}
+	}
+	randPorts := func() rules.PortRange {
+		switch rng.Intn(3) {
+		case 0:
+			return rules.FullPortRange
+		case 1:
+			p := uint16(rng.Intn(65536))
+			return rules.PortRange{Lo: p, Hi: p}
+		default:
+			a, b := uint16(rng.Intn(65536)), uint16(rng.Intn(65536))
+			if a > b {
+				a, b = b, a
+			}
+			return rules.PortRange{Lo: a, Hi: b}
+		}
+	}
+	var pm rules.ProtoMatch
+	switch rng.Intn(4) {
+	case 0:
+		pm = rules.AnyProto
+	default:
+		pm = rules.ProtoMatch{Value: uint8(rng.Intn(256))}
+	}
+	return rules.Rule{
+		SrcIP:   randPrefix(),
+		DstIP:   randPrefix(),
+		SrcPort: randPorts(),
+		DstPort: randPorts(),
+		Proto:   pm,
+		Action:  rules.Action(rng.Intn(6)),
+	}
+}
+
+// hiMask32 returns a mask of the top n bits of a 32-bit word.
+func hiMask32(n uint) uint32 {
+	if n == 0 {
+		return 0
+	}
+	if n >= 32 {
+		return ^uint32(0)
+	}
+	return ^uint32(0) << (32 - n)
+}
+
+// loMask32 returns a mask of the low n bits of a 32-bit word.
+func loMask32(n uint) uint32 {
+	if n >= 32 {
+		return ^uint32(0)
+	}
+	return (uint32(1) << n) - 1
+}

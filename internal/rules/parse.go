@@ -1,0 +1,155 @@
+package rules
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Parse reads a rule set in the ClassBench-style textual format, one rule
+// per line:
+//
+//	@srcIP/len  dstIP/len  loPort : hiPort  loPort : hiPort  0xPP/0xMM  [action]
+//
+// Fields are separated by whitespace (tabs in files we write). The protocol
+// mask must be 0x00 (wildcard) or 0xFF (exact). The trailing action keyword
+// is optional and defaults to permit. Blank lines and lines starting with
+// '#' are ignored. Rule priority is line order.
+func Parse(name string, r io.Reader) (*RuleSet, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var rs []Rule
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		rule, err := ParseRule(line)
+		if err != nil {
+			return nil, fmt.Errorf("rules: line %d: %w", lineNo, err)
+		}
+		rs = append(rs, rule)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("rules: reading %q: %w", name, err)
+	}
+	set := NewRuleSet(name, rs)
+	if err := set.Validate(); err != nil {
+		return nil, err
+	}
+	return set, nil
+}
+
+// ParseRule parses a single rule line (see Parse for the format).
+func ParseRule(line string) (Rule, error) {
+	line = strings.TrimSpace(line)
+	if !strings.HasPrefix(line, "@") {
+		return Rule{}, fmt.Errorf("rule must start with '@': %q", line)
+	}
+	fields := strings.Fields(line[1:])
+	// Expected layout: src dst sportLo : sportHi dportLo : dportHi proto [action]
+	if len(fields) < 9 {
+		return Rule{}, fmt.Errorf("rule has %d fields, want at least 9: %q", len(fields), line)
+	}
+	var r Rule
+	var err error
+	if r.SrcIP, err = ParsePrefix(fields[0]); err != nil {
+		return Rule{}, err
+	}
+	if r.DstIP, err = ParsePrefix(fields[1]); err != nil {
+		return Rule{}, err
+	}
+	if r.SrcPort, err = parsePortRange(fields[2], fields[3], fields[4]); err != nil {
+		return Rule{}, fmt.Errorf("source port: %w", err)
+	}
+	if r.DstPort, err = parsePortRange(fields[5], fields[6], fields[7]); err != nil {
+		return Rule{}, fmt.Errorf("destination port: %w", err)
+	}
+	if r.Proto, err = parseProtoMatch(fields[8]); err != nil {
+		return Rule{}, err
+	}
+	r.Action = ActionPermit
+	if len(fields) >= 10 {
+		if r.Action, err = ParseAction(fields[9]); err != nil {
+			return Rule{}, err
+		}
+	}
+	return r, nil
+}
+
+// ParsePrefix parses "a.b.c.d/len" prefix notation.
+func ParsePrefix(s string) (Prefix, error) {
+	slash := strings.IndexByte(s, '/')
+	if slash < 0 {
+		return Prefix{}, fmt.Errorf("rules: prefix %q missing '/'", s)
+	}
+	addr, err := ParseIP(s[:slash])
+	if err != nil {
+		return Prefix{}, err
+	}
+	l, err := strconv.Atoi(s[slash+1:])
+	if err != nil || l < 0 || l > 32 {
+		return Prefix{}, fmt.Errorf("rules: invalid prefix length in %q", s)
+	}
+	return Prefix{Addr: addr, Len: uint8(l)}, nil
+}
+
+func parsePortRange(lo, colon, hi string) (PortRange, error) {
+	if colon != ":" {
+		return PortRange{}, fmt.Errorf("expected ':' between bounds, got %q", colon)
+	}
+	l, err := strconv.ParseUint(lo, 10, 16)
+	if err != nil {
+		return PortRange{}, fmt.Errorf("invalid low bound %q", lo)
+	}
+	h, err := strconv.ParseUint(hi, 10, 16)
+	if err != nil {
+		return PortRange{}, fmt.Errorf("invalid high bound %q", hi)
+	}
+	if l > h {
+		return PortRange{}, fmt.Errorf("inverted range %s:%s", lo, hi)
+	}
+	return PortRange{Lo: uint16(l), Hi: uint16(h)}, nil
+}
+
+func parseProtoMatch(s string) (ProtoMatch, error) {
+	slash := strings.IndexByte(s, '/')
+	if slash < 0 {
+		return ProtoMatch{}, fmt.Errorf("rules: protocol %q missing '/'", s)
+	}
+	val, err := strconv.ParseUint(strings.TrimPrefix(s[:slash], "0x"), 16, 8)
+	if err != nil {
+		return ProtoMatch{}, fmt.Errorf("rules: invalid protocol value in %q", s)
+	}
+	mask, err := strconv.ParseUint(strings.TrimPrefix(s[slash+1:], "0x"), 16, 8)
+	if err != nil {
+		return ProtoMatch{}, fmt.Errorf("rules: invalid protocol mask in %q", s)
+	}
+	switch mask {
+	case 0x00:
+		return AnyProto, nil
+	case 0xFF:
+		return ProtoMatch{Value: uint8(val)}, nil
+	default:
+		return ProtoMatch{}, fmt.Errorf("rules: unsupported protocol mask 0x%02X (want 0x00 or 0xFF)", mask)
+	}
+}
+
+// Write renders the rule set in the format accepted by Parse, one rule per
+// line, preceded by a comment header naming the set.
+func (s *RuleSet) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# rule set %s (%d rules)\n", s.Name, len(s.Rules)); err != nil {
+		return err
+	}
+	for i := range s.Rules {
+		if _, err := fmt.Fprintln(bw, s.Rules[i].String()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

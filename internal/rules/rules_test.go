@@ -1,0 +1,241 @@
+package rules
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKeyBitsLayout(t *testing.T) {
+	h := Header{
+		SrcIP:   0xAABBCCDD,
+		DstIP:   0x11223344,
+		SrcPort: 0x5566,
+		DstPort: 0x7788,
+		Proto:   0x9A,
+	}
+	k := h.Key()
+	cases := []struct {
+		start, width uint
+		want         uint32
+	}{
+		{0, 32, 0xAABBCCDD},  // whole srcIP
+		{32, 32, 0x11223344}, // whole dstIP
+		{64, 16, 0x5566},     // srcPort
+		{80, 16, 0x7788},     // dstPort
+		{96, 8, 0x9A},        // proto
+		{0, 8, 0xAA},         // first srcIP byte
+		{24, 8, 0xDD},        // last srcIP byte
+		{28, 8, 0xD1},        // straddles srcIP/dstIP: low nibble D, high nibble 1
+		{60, 8, 0x45},        // straddles hi/lo words: dstIP low nibble 4, srcPort top nibble 5
+		{62, 4, 0x1},         // 2 bits of dstIP (00) + 2 bits of srcPort (01)
+		{96, 4, 0x9},         // proto high nibble
+		{100, 4, 0xA},        // proto low nibble
+		{0, 1, 1},            // top bit of 0xAA...
+		{103, 1, 0},          // last key bit (proto LSB of 0x9A)
+	}
+	for _, c := range cases {
+		if got := k.Bits(c.start, c.width); got != c.want {
+			t.Errorf("Bits(%d, %d) = %#x, want %#x", c.start, c.width, got, c.want)
+		}
+	}
+}
+
+func TestKeyBitsReconstructsHeader(t *testing.T) {
+	// Extracting each dimension's bit slice must reproduce Field values,
+	// for every stride that divides the layout.
+	f := func(src, dst uint32, sp, dp uint16, pr uint8) bool {
+		h := Header{src, dst, sp, dp, pr}
+		k := h.Key()
+		for d := 0; d < NumDims; d++ {
+			if k.Bits(DimOffset[d], DimBits[d]) != h.Field(Dim(d)) {
+				return false
+			}
+		}
+		// Walking the key in stride-8 chunks and reassembling per field
+		// must also agree (this is exactly what ExpCuts does).
+		var fields [NumDims]uint32
+		for pos := uint(0); pos < KeyBits; pos += 8 {
+			chunk := k.Bits(pos, 8)
+			for d := 0; d < NumDims; d++ {
+				if pos >= DimOffset[d] && pos < DimOffset[d]+DimBits[d] {
+					fields[d] = fields[d]<<8 | chunk
+				}
+			}
+		}
+		for d := 0; d < NumDims; d++ {
+			if fields[d] != h.Field(Dim(d)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeyBitsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range slice")
+		}
+	}()
+	var k Key
+	k.Bits(100, 8) // runs past bit 104
+}
+
+func TestPrefixSpan(t *testing.T) {
+	cases := []struct {
+		p    Prefix
+		want Span
+	}{
+		{Prefix{0, 0}, Span{0, 0xFFFFFFFF}},
+		{Prefix{0xC0A80000, 16}, Span{0xC0A80000, 0xC0A8FFFF}},
+		{Prefix{0xC0A80101, 32}, Span{0xC0A80101, 0xC0A80101}},
+		{Prefix{0xC0A801FF, 24}, Span{0xC0A80100, 0xC0A801FF}},
+		// Host bits set in Addr must be masked off.
+		{Prefix{0xC0A801FF, 16}, Span{0xC0A80000, 0xC0A8FFFF}},
+	}
+	for _, c := range cases {
+		if got := c.p.Span(); got != c.want {
+			t.Errorf("%v.Span() = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestSpanOperations(t *testing.T) {
+	a := Span{10, 20}
+	b := Span{15, 30}
+	c := Span{21, 25}
+	if !a.Overlaps(b) || !b.Overlaps(a) {
+		t.Error("a and b should overlap")
+	}
+	if a.Overlaps(c) {
+		t.Error("a and c should not overlap")
+	}
+	got, ok := a.Intersect(b)
+	if !ok || got != (Span{15, 20}) {
+		t.Errorf("a∩b = %v,%v want {15,20},true", got, ok)
+	}
+	if _, ok := a.Intersect(c); ok {
+		t.Error("a∩c should be empty")
+	}
+	if !b.Covers(Span{16, 29}) || b.Covers(Span{14, 29}) {
+		t.Error("Covers is wrong")
+	}
+	if (Span{0, ^uint32(0)}).Size() != 1<<32 {
+		t.Error("full span size should be 2^32")
+	}
+}
+
+func TestRuleMatches(t *testing.T) {
+	r := Rule{
+		SrcIP:   Prefix{0x0A000000, 8},  // 10.0.0.0/8
+		DstIP:   Prefix{0xC0A80100, 24}, // 192.168.1.0/24
+		SrcPort: FullPortRange,
+		DstPort: PortRange{80, 80},
+		Proto:   ProtoMatch{Value: ProtoTCP},
+	}
+	match := Header{0x0A010203, 0xC0A80142, 12345, 80, ProtoTCP}
+	if !r.Matches(match) {
+		t.Errorf("rule should match %v", match)
+	}
+	for _, h := range []Header{
+		{0x0B010203, 0xC0A80142, 12345, 80, ProtoTCP}, // wrong src net
+		{0x0A010203, 0xC0A80242, 12345, 80, ProtoTCP}, // wrong dst net
+		{0x0A010203, 0xC0A80142, 12345, 81, ProtoTCP}, // wrong dst port
+		{0x0A010203, 0xC0A80142, 12345, 80, ProtoUDP}, // wrong proto
+	} {
+		if r.Matches(h) {
+			t.Errorf("rule should not match %v", h)
+		}
+	}
+}
+
+func TestRuleSetMatchPriority(t *testing.T) {
+	// Two overlapping rules: the lower-indexed one must win where both match.
+	rs := NewRuleSet("prio", []Rule{
+		{SrcIP: Prefix{0x0A000000, 8}, SrcPort: FullPortRange, DstPort: PortRange{80, 80}, Proto: ProtoMatch{Value: ProtoTCP}, Action: ActionDeny},
+		{SrcPort: FullPortRange, DstPort: FullPortRange, Proto: AnyProto, Action: ActionPermit},
+	})
+	h := Header{0x0A010203, 0, 1, 80, ProtoTCP}
+	if got := rs.Match(h); got != 0 {
+		t.Errorf("Match = %d, want 0 (priority order)", got)
+	}
+	h2 := Header{0x0B010203, 0, 1, 80, ProtoTCP}
+	if got := rs.Match(h2); got != 1 {
+		t.Errorf("Match = %d, want 1 (fallthrough)", got)
+	}
+}
+
+func TestRuleSetMatchNoMatch(t *testing.T) {
+	rs := NewRuleSet("one", []Rule{
+		{SrcIP: Prefix{0x0A000000, 8}, SrcPort: FullPortRange, DstPort: FullPortRange, Proto: AnyProto},
+	})
+	if got := rs.Match(Header{0x0B000001, 0, 0, 0, 0}); got != -1 {
+		t.Errorf("Match = %d, want -1", got)
+	}
+}
+
+func TestBoxContainsAgreesWithMatches(t *testing.T) {
+	// A rule's Box must contain exactly the headers the rule matches.
+	rng := rand.New(rand.NewSource(7))
+	f := func(src, dst uint32, sp, dp uint16, pr uint8) bool {
+		r := Rule{
+			SrcIP:   Prefix{rng.Uint32(), uint8(rng.Intn(33))},
+			DstIP:   Prefix{rng.Uint32(), uint8(rng.Intn(33))},
+			SrcPort: PortRange{0, uint16(rng.Intn(65536))},
+			DstPort: PortRange{uint16(rng.Intn(1024)), 65535},
+			Proto:   ProtoMatch{Wildcard: rng.Intn(2) == 0, Value: uint8(rng.Intn(256))},
+		}
+		h := Header{src, dst, sp, dp, pr}
+		return r.Box().Contains(h) == r.Matches(h)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIPRoundTrip(t *testing.T) {
+	for _, s := range []string{"0.0.0.0", "255.255.255.255", "10.1.2.3", "192.168.1.254"} {
+		v, err := ParseIP(s)
+		if err != nil {
+			t.Fatalf("ParseIP(%q): %v", s, err)
+		}
+		if got := FormatIP(v); got != s {
+			t.Errorf("round trip %q -> %q", s, got)
+		}
+	}
+	for _, s := range []string{"1.2.3", "256.1.1.1", "a.b.c.d", ""} {
+		if _, err := ParseIP(s); err == nil {
+			t.Errorf("ParseIP(%q) should fail", s)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := NewRuleSet("empty", nil).Validate(); err == nil {
+		t.Error("empty set should fail validation")
+	}
+	bad := NewRuleSet("bad", []Rule{{SrcPort: PortRange{10, 5}, DstPort: FullPortRange}})
+	if err := bad.Validate(); err == nil {
+		t.Error("inverted port range should fail validation")
+	}
+	ok := NewRuleSet("ok", []Rule{{SrcPort: FullPortRange, DstPort: FullPortRange, Proto: AnyProto}})
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid set rejected: %v", err)
+	}
+}
+
+func TestDimString(t *testing.T) {
+	want := []string{"srcIP", "dstIP", "srcPort", "dstPort", "proto"}
+	for d := 0; d < NumDims; d++ {
+		if Dim(d).String() != want[d] {
+			t.Errorf("Dim(%d) = %q, want %q", d, Dim(d), want[d])
+		}
+	}
+	if Dim(9).String() != "Dim(9)" {
+		t.Errorf("out-of-range Dim renders %q", Dim(9))
+	}
+}

@@ -1,0 +1,107 @@
+// Package ruletable serializes classification rules into the 6-word SRAM
+// records the paper's linear search reads: "each memory access refers to 6
+// consecutive 32-bit words" (§6.6). A rule record packs:
+//
+//	word 0: source address (prefix base)
+//	word 1: destination address (prefix base)
+//	word 2: srcLen(6) ‖ dstLen(6) ‖ protoWildcard(1) ‖ proto(8) ‖ action(8) ‖ pad(3)
+//	word 3: srcPortLo(16) ‖ srcPortHi(16)
+//	word 4: dstPortLo(16) ‖ dstPortHi(16)
+//	word 5: rule index (self-identifying for debugging and multi-match use)
+//
+// Both the linear-search baseline and HiCuts leaves read these records, so
+// their simulated memory traffic matches the paper's accounting.
+package ruletable
+
+import (
+	"fmt"
+
+	"repro/internal/rules"
+)
+
+// WordsPerRule is the SRAM footprint of one rule record.
+const WordsPerRule = 6
+
+// Encode serializes the rule set into consecutive 6-word records in
+// priority order.
+func Encode(rs *rules.RuleSet) []uint32 {
+	out := make([]uint32, 0, len(rs.Rules)*WordsPerRule)
+	for i := range rs.Rules {
+		out = append(out, EncodeRule(&rs.Rules[i], i)...)
+	}
+	return out
+}
+
+// EncodeRule serializes one rule record.
+func EncodeRule(r *rules.Rule, idx int) []uint32 {
+	var wild uint32
+	if r.Proto.Wildcard {
+		wild = 1
+	}
+	w2 := uint32(r.SrcIP.Len)<<26 |
+		uint32(r.DstIP.Len)<<20 |
+		wild<<19 |
+		uint32(r.Proto.Value)<<11 |
+		uint32(r.Action)<<3
+	return []uint32{
+		r.SrcIP.Span().Lo,
+		r.DstIP.Span().Lo,
+		w2,
+		uint32(r.SrcPort.Lo)<<16 | uint32(r.SrcPort.Hi),
+		uint32(r.DstPort.Lo)<<16 | uint32(r.DstPort.Hi),
+		uint32(idx),
+	}
+}
+
+// Decode reconstructs the rule and its index from a 6-word record.
+func Decode(w []uint32) (rules.Rule, int, error) {
+	if len(w) < WordsPerRule {
+		return rules.Rule{}, 0, fmt.Errorf("ruletable: record has %d words, want %d", len(w), WordsPerRule)
+	}
+	r := rules.Rule{
+		SrcIP:   rules.Prefix{Addr: w[0], Len: uint8(w[2] >> 26 & 0x3F)},
+		DstIP:   rules.Prefix{Addr: w[1], Len: uint8(w[2] >> 20 & 0x3F)},
+		SrcPort: rules.PortRange{Lo: uint16(w[3] >> 16), Hi: uint16(w[3])},
+		DstPort: rules.PortRange{Lo: uint16(w[4] >> 16), Hi: uint16(w[4])},
+		Proto: rules.ProtoMatch{
+			Wildcard: w[2]>>19&1 == 1,
+			Value:    uint8(w[2] >> 11),
+		},
+		Action: rules.Action(w[2] >> 3 & 0xFF),
+	}
+	if r.Proto.Wildcard {
+		r.Proto.Value = 0
+	}
+	return r, int(w[5]), nil
+}
+
+// MatchRecord tests the header against a 6-word record without
+// materializing a Rule — the word-level comparison a microengine performs.
+// The cycle cost of this comparison is CompareCycles.
+func MatchRecord(w []uint32, h rules.Header) bool {
+	srcLen := uint(w[2] >> 26 & 0x3F)
+	dstLen := uint(w[2] >> 20 & 0x3F)
+	// Widen to 64 bits so both boundary lengths shift cleanly: len 0 is a
+	// full >>32 (wildcard), len 32 is >>0 (exact match).
+	if uint64(h.SrcIP^w[0])>>(32-srcLen) != 0 {
+		return false
+	}
+	if uint64(h.DstIP^w[1])>>(32-dstLen) != 0 {
+		return false
+	}
+	if h.SrcPort < uint16(w[3]>>16) || h.SrcPort > uint16(w[3]) {
+		return false
+	}
+	if h.DstPort < uint16(w[4]>>16) || h.DstPort > uint16(w[4]) {
+		return false
+	}
+	if w[2]>>19&1 == 0 && uint8(w[2]>>11) != h.Proto {
+		return false
+	}
+	return true
+}
+
+// CompareCycles is the ME cycle cost of one record comparison: roughly two
+// ALU ops per field plus branches, matching the paper's observation that
+// linear search cost is dominated by the memory reads, not the compare.
+const CompareCycles = 12

@@ -1,0 +1,95 @@
+package ruletable
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/pktgen"
+	"repro/internal/rulegen"
+	"repro/internal/rules"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 300; i++ {
+		r := rulegen.RandomRule(rng)
+		// Normalize: host bits below the prefix are not encoded.
+		r.SrcIP.Addr = r.SrcIP.Span().Lo
+		r.DstIP.Addr = r.DstIP.Span().Lo
+		words := EncodeRule(&r, i)
+		if len(words) != WordsPerRule {
+			t.Fatalf("EncodeRule produced %d words", len(words))
+		}
+		back, idx, err := Decode(words)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if idx != i {
+			t.Fatalf("index = %d, want %d", idx, i)
+		}
+		if back != r {
+			t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", r, back)
+		}
+	}
+}
+
+func TestDecodeShortRecord(t *testing.T) {
+	if _, _, err := Decode(make([]uint32, 5)); err == nil {
+		t.Fatal("short record should fail")
+	}
+}
+
+func TestMatchRecordAgreesWithRuleMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 2000; i++ {
+		r := rulegen.RandomRule(rng)
+		words := EncodeRule(&r, 0)
+		var h rules.Header
+		if i%2 == 0 {
+			h = pktgen.SampleRule(rng, &r) // in-box headers
+		} else {
+			h = pktgen.RandomHeader(rng) // mostly out-of-box headers
+		}
+		if got, want := MatchRecord(words, h), r.Matches(h); got != want {
+			t.Fatalf("MatchRecord = %v, Rule.Matches = %v\nrule: %v\nheader: %v",
+				got, want, &r, h)
+		}
+	}
+}
+
+func TestMatchRecordWildcardPrefixes(t *testing.T) {
+	// Prefix length 0 exercises the two-step shift (a single >>32 would be
+	// undefined-width behaviour on 32-bit hardware and a subtle Go trap).
+	r := rules.Rule{SrcPort: rules.FullPortRange, DstPort: rules.FullPortRange, Proto: rules.AnyProto}
+	words := EncodeRule(&r, 0)
+	for _, h := range []rules.Header{
+		{},
+		{SrcIP: ^uint32(0), DstIP: ^uint32(0), SrcPort: 65535, DstPort: 65535, Proto: 255},
+	} {
+		if !MatchRecord(words, h) {
+			t.Errorf("wildcard rule must match %v", h)
+		}
+	}
+}
+
+func TestEncodeSetLayout(t *testing.T) {
+	rs, err := rulegen.Generate(rulegen.Config{Kind: rulegen.Firewall, Size: 40, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	words := Encode(rs)
+	if len(words) != 40*WordsPerRule {
+		t.Fatalf("encoded %d words", len(words))
+	}
+	// Record i must decode back to rule i.
+	for i := range rs.Rules {
+		rec := words[i*WordsPerRule : (i+1)*WordsPerRule]
+		_, idx, err := Decode(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if idx != i {
+			t.Fatalf("record %d self-index = %d", i, idx)
+		}
+	}
+}

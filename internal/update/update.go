@@ -1,0 +1,158 @@
+// Package update adds dynamic rule-set updates on top of the static
+// classifiers. Decision-tree structures like ExpCuts are built for lookup
+// speed, not in-place modification (the paper's §1 makes the same point
+// about TCAMs), so this package implements the strategy production systems
+// use: updates are batched against the authoritative rule list, a
+// replacement classifier is built off the fast path, and readers are
+// switched over atomically — packets classify against a consistent
+// generation at all times, with zero locking on the lookup path.
+package update
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/rules"
+)
+
+// Classifier is the read-side contract of a managed generation.
+type Classifier interface {
+	Classify(h rules.Header) int
+	MemoryBytes() int
+}
+
+// Builder constructs a classifier generation from a rule set (e.g. wrap
+// expcuts.New with its Config applied).
+type Builder func(rs *rules.RuleSet) (Classifier, error)
+
+// Op is one rule-set modification.
+type Op struct {
+	// Insert, when set, adds the rule; otherwise the op deletes.
+	Insert bool
+	// Rule is the rule to insert (Insert true).
+	Rule rules.Rule
+	// Pos is the priority position: for inserts, the index the new rule
+	// takes (clamped to [0, len]); for deletes, the index removed.
+	Pos int
+}
+
+// InsertAt builds an insert op.
+func InsertAt(pos int, r rules.Rule) Op {
+	return Op{Insert: true, Rule: r, Pos: pos}
+}
+
+// DeleteAt builds a delete op.
+func DeleteAt(pos int) Op {
+	return Op{Pos: pos}
+}
+
+// Manager owns the authoritative rule list and the live classifier
+// generation. Classify is wait-free with respect to updates.
+type Manager struct {
+	build Builder
+
+	mu    sync.Mutex // serializes updates, not lookups
+	name  string
+	rules []rules.Rule
+	gen   uint64
+
+	live atomic.Pointer[generation]
+}
+
+// generation pairs a classifier with the rule snapshot it was built from.
+type generation struct {
+	cl    Classifier
+	rules []rules.Rule
+	gen   uint64
+}
+
+// NewManager builds the initial generation from the rule set.
+func NewManager(rs *rules.RuleSet, build Builder) (*Manager, error) {
+	m := &Manager{
+		build: build,
+		name:  rs.Name,
+		rules: append([]rules.Rule(nil), rs.Rules...),
+	}
+	if err := m.rebuildLocked(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Classify classifies against the live generation. The returned index
+// refers to that generation's snapshot; use Snapshot for the matching rule
+// list.
+func (m *Manager) Classify(h rules.Header) int {
+	return m.live.Load().cl.Classify(h)
+}
+
+// Snapshot returns the live generation's rule list (callers must not
+// modify it) and generation number.
+func (m *Manager) Snapshot() ([]rules.Rule, uint64) {
+	g := m.live.Load()
+	return g.rules, g.gen
+}
+
+// Generation returns the live generation number; it increments on every
+// successful Apply.
+func (m *Manager) Generation() uint64 {
+	return m.live.Load().gen
+}
+
+// MemoryBytes reports the live classifier's footprint.
+func (m *Manager) MemoryBytes() int {
+	return m.live.Load().cl.MemoryBytes()
+}
+
+// Apply validates and applies a batch of ops atomically: either the whole
+// batch becomes visible as one new generation, or the live generation is
+// unchanged. The fast path keeps serving the old generation during the
+// rebuild.
+func (m *Manager) Apply(ops []Op) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	next := append([]rules.Rule(nil), m.rules...)
+	for i, op := range ops {
+		if op.Insert {
+			pos := op.Pos
+			if pos < 0 {
+				pos = 0
+			}
+			if pos > len(next) {
+				pos = len(next)
+			}
+			next = append(next, rules.Rule{})
+			copy(next[pos+1:], next[pos:])
+			next[pos] = op.Rule
+			continue
+		}
+		if op.Pos < 0 || op.Pos >= len(next) {
+			return fmt.Errorf("update: op %d deletes position %d of %d rules", i, op.Pos, len(next))
+		}
+		next = append(next[:op.Pos], next[op.Pos+1:]...)
+	}
+	if len(next) == 0 {
+		return fmt.Errorf("update: batch would empty the rule set")
+	}
+	old := m.rules
+	m.rules = next
+	if err := m.rebuildLocked(); err != nil {
+		m.rules = old
+		return fmt.Errorf("update: rebuild failed, batch rolled back: %w", err)
+	}
+	return nil
+}
+
+// rebuildLocked builds and publishes a new generation from m.rules.
+func (m *Manager) rebuildLocked() error {
+	snapshot := append([]rules.Rule(nil), m.rules...)
+	rs := rules.NewRuleSet(fmt.Sprintf("%s@%d", m.name, m.gen+1), snapshot)
+	cl, err := m.build(rs)
+	if err != nil {
+		return err
+	}
+	m.gen++
+	m.live.Store(&generation{cl: cl, rules: snapshot, gen: m.gen})
+	return nil
+}
