@@ -7,14 +7,24 @@
 //
 //	npsim -ruleset CR04 -mes 9
 //	npsim -ruleset FW01 -algo hsm -mapping pipeline
+//	npsim -ruleset FW01 -imagecheck            # verify the SRAM image round-trips
+//	npsim -ruleset FW01 -corruptbit 12345      # prove the loader refuses corruption
+//
+// -imagecheck runs the control-plane handoff self-test: the classifier's
+// SRAM image is serialized and reloaded through the checksummed loader.
+// -corruptbit flips one bit of the serialized image first and expects the
+// loader to refuse it — the graceful-degradation path for a corrupted
+// image handed to the XScale core.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/expcuts"
+	"repro/internal/faultinject"
 	"repro/internal/hicuts"
 	"repro/internal/hsm"
 	"repro/internal/memlayout"
@@ -29,6 +39,7 @@ type traced interface {
 	Name() string
 	MemoryBytes() int
 	Program(h rules.Header) nptrace.Program
+	Image() *memlayout.Image
 }
 
 func main() {
@@ -40,6 +51,8 @@ func main() {
 		traceLen = flag.Int("trace", 2000, "distinct headers")
 		seed     = flag.Int64("seed", 1, "trace seed")
 		mapping  = flag.String("mapping", "multi", "multi (multiprocessing) or pipeline (context pipelining)")
+		imgCheck = flag.Bool("imagecheck", false, "round-trip the SRAM image through the checksummed loader and exit")
+		corrupt  = flag.Int("corruptbit", -1, "flip this bit of the serialized image before reloading (expects refusal); implies -imagecheck")
 	)
 	flag.Parse()
 
@@ -64,6 +77,10 @@ func main() {
 	}
 	if err != nil {
 		fatal(err)
+	}
+	if *imgCheck || *corrupt >= 0 {
+		imageCheck(cl, *corrupt)
+		return
 	}
 	progs := make([]nptrace.Program, len(tr.Headers))
 	for i, h := range tr.Headers {
@@ -107,6 +124,38 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown mapping %q (multi, pipeline)", *mapping))
 	}
+}
+
+// imageCheck serializes the classifier's SRAM image and reloads it through
+// the checksummed loader, optionally after flipping one bit. A clean image
+// must round-trip; a corrupted one must be refused with an error — either
+// other outcome is a hard failure.
+func imageCheck(cl traced, corruptBit int) {
+	var buf bytes.Buffer
+	if err := cl.Image().Save(&buf); err != nil {
+		fatal(fmt.Errorf("serializing image: %w", err))
+	}
+	data := buf.Bytes()
+	fmt.Printf("image         %s, %d bytes serialized\n", cl.Name(), len(data))
+	if corruptBit >= 0 {
+		bit := corruptBit % (len(data) * 8)
+		data = faultinject.FlipBit(data, bit)
+		_, err := memlayout.LoadImage(bytes.NewReader(data))
+		if err == nil {
+			fatal(fmt.Errorf("bit %d flipped but the loader accepted the image", bit))
+		}
+		fmt.Printf("corruption    bit %d flipped: loader refused the image (good)\n", bit)
+		fmt.Printf("              %v\n", err)
+		return
+	}
+	im, err := memlayout.LoadImage(bytes.NewReader(data))
+	if err != nil {
+		fatal(fmt.Errorf("reloading clean image: %w", err))
+	}
+	if got, want := im.TotalWords(), cl.Image().TotalWords(); got != want {
+		fatal(fmt.Errorf("round-trip changed the image: %d words, want %d", got, want))
+	}
+	fmt.Printf("round-trip    ok: %d words across %d channels\n", im.TotalWords(), memlayout.NumChannels)
 }
 
 func fatal(err error) {

@@ -6,16 +6,24 @@
 //
 //	pcclass -rules cr04.rules -trace cr04.trace -algo expcuts
 //	pcclass -ruleset CR04 -gen 10000 -algo hsm -verify
+//	pcclass -ruleset FW01 -gen 100000 -workers 8 -timeout 2s -overload shed
+//
+// With -workers > 0 the trace runs through the hardened parallel engine:
+// classifier panics are contained per-packet, -timeout bounds the whole
+// run, and -overload picks back-pressure vs. tail-drop under load.
 package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/expcuts"
 	"repro/internal/hicuts"
 	"repro/internal/hsm"
@@ -41,6 +49,11 @@ func main() {
 		seed      = flag.Int64("seed", 1, "generated-trace seed")
 		algo      = flag.String("algo", "expcuts", "expcuts, hicuts, hsm, rfc, linear")
 		verify    = flag.Bool("verify", false, "cross-check every result against linear search")
+		workers   = flag.Int("workers", 0, "classify through the parallel engine with this many workers (0 = sequential)")
+		queue     = flag.Int("queue", 0, "engine dispatch ring depth (default 256)")
+		unordered = flag.Bool("unordered", false, "engine: emit results in completion order instead of arrival order")
+		overload  = flag.String("overload", "block", "engine overload policy: block (back-pressure) or shed (tail-drop)")
+		timeout   = flag.Duration("timeout", 0, "engine: per-run deadline (0 = none)")
 	)
 	flag.Parse()
 
@@ -63,9 +76,7 @@ func main() {
 	oracle := linear.New(rs)
 	counts := map[string]int{}
 	mismatches := 0
-	start = time.Now()
-	for _, h := range headers {
-		match := cl.Classify(h)
+	tally := func(h rules.Header, match int) {
 		if *verify && match != oracle.Classify(h) {
 			mismatches++
 		}
@@ -76,6 +87,47 @@ func main() {
 			counts[rs.Rules[match].Action.String()]++
 		}
 	}
+
+	if *workers < 0 {
+		fatal(fmt.Errorf("-workers must be >= 0 (0 = sequential), got %d", *workers))
+	}
+	var engineStats engine.Stats
+	var engineErr error
+	start = time.Now()
+	if *workers > 0 {
+		ecfg := engine.Config{
+			Workers:       *workers,
+			QueueDepth:    *queue,
+			PreserveOrder: !*unordered,
+		}
+		switch *overload {
+		case "block":
+			ecfg.Overload = engine.OverloadBlock
+		case "shed":
+			ecfg.Overload = engine.OverloadShed
+		default:
+			fatal(fmt.Errorf("unknown overload policy %q (block, shed)", *overload))
+		}
+		ctx := context.Background()
+		if *timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+			defer cancel()
+		}
+		engineStats, engineErr = engine.RunContext(ctx, cl, ecfg, headers, func(r engine.Result) {
+			if r.Err != nil {
+				return // shed, canceled or panicked: reported via stats
+			}
+			tally(r.Header, r.Match)
+		})
+		if engineErr != nil && !errors.Is(engineErr, context.DeadlineExceeded) {
+			fatal(engineErr)
+		}
+	} else {
+		for _, h := range headers {
+			tally(h, cl.Classify(h))
+		}
+	}
 	classifyTime := time.Since(start)
 
 	fmt.Printf("rule set      %s (%d rules)\n", rs.Name, rs.Len())
@@ -84,6 +136,16 @@ func main() {
 	fmt.Printf("packets       %d in %v (%.2f Mpkt/s native Go)\n",
 		len(headers), classifyTime.Round(time.Millisecond),
 		float64(len(headers))/classifyTime.Seconds()/1e6)
+	if *workers > 0 {
+		fmt.Printf("engine        %d workers, %s overload, order %v\n",
+			*workers, *overload, !*unordered)
+		fmt.Printf("  classified %d  shed %d  panics %d  canceled %d  max-reorder %d\n",
+			engineStats.Packets, engineStats.Shed, engineStats.Panics,
+			engineStats.Canceled, engineStats.MaxReorder)
+		if engineErr != nil {
+			fmt.Printf("  run cut short: %v\n", engineErr)
+		}
+	}
 	for _, action := range []string{"permit", "deny", "class0", "class1", "class2", "class3", "no-match"} {
 		if counts[action] > 0 {
 			fmt.Printf("  %-9s %d\n", action, counts[action])

@@ -7,6 +7,14 @@
 // spite of parallel processing ... using sequence numbers and/or strict
 // thread ordering".
 //
+// Beyond the happy path, the engine is a hardened serving layer: a
+// classifier panic is contained to the packet that triggered it and
+// surfaced as a Result error instead of a crashed worker, a per-run
+// context carries deadlines and cancellation, and overload can either
+// exert back-pressure (block) or tail-drop with shed accounting — the
+// software analogue of the NP dropping frames when the receive ring
+// overflows.
+//
 // The NP cycle model lives in internal/npsim; this package is the
 // software-parallel counterpart used by applications that want to classify
 // on a general-purpose host (goroutines approximate the NP's thread-level
@@ -14,8 +22,12 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/rules"
 )
@@ -23,6 +35,29 @@ import (
 // Classifier is the lookup the engine parallelizes.
 type Classifier interface {
 	Classify(h rules.Header) int
+}
+
+// OverloadPolicy selects what the dispatcher does when the ring is full.
+type OverloadPolicy int
+
+const (
+	// OverloadBlock exerts back-pressure: the dispatcher waits for ring
+	// space. No packet is ever dropped; ingestion slows to lookup speed.
+	OverloadBlock OverloadPolicy = iota
+	// OverloadShed tail-drops: a packet arriving at a full ring is shed
+	// immediately — emitted with ErrShed and counted in Stats.Shed —
+	// like an NP receive ring overflowing at line rate.
+	OverloadShed
+)
+
+func (p OverloadPolicy) String() string {
+	switch p {
+	case OverloadBlock:
+		return "block"
+	case OverloadShed:
+		return "shed"
+	}
+	return fmt.Sprintf("OverloadPolicy(%d)", int(p))
 }
 
 // Config parameterizes the engine.
@@ -34,10 +69,16 @@ type Config struct {
 	// PreserveOrder, when set, re-sequences results into arrival order
 	// before they are emitted.
 	PreserveOrder bool
+	// Overload selects block (default) or tail-drop shedding when the
+	// dispatch ring is full. Note that OverloadShed combined with
+	// PreserveOrder can grow the reorder buffer: shed markers complete
+	// instantly and wait there for the slow packets that caused the
+	// shedding. Heavy shedders should run unordered.
+	Overload OverloadPolicy
 }
 
 // DefaultConfig runs 8 workers — one per hardware thread of a single
-// microengine — with ordering on.
+// microengine — with ordering on and blocking back-pressure.
 func DefaultConfig() Config {
 	return Config{Workers: 8, QueueDepth: 256, PreserveOrder: true}
 }
@@ -56,32 +97,84 @@ func (c *Config) fillDefaults() error {
 	if c.QueueDepth < 1 {
 		return fmt.Errorf("engine: queue depth must be >= 1, got %d", c.QueueDepth)
 	}
+	if c.Overload != OverloadBlock && c.Overload != OverloadShed {
+		return fmt.Errorf("engine: unknown overload policy %d", c.Overload)
+	}
 	return nil
 }
 
+// ErrShed marks a Result dropped by the OverloadShed policy before it
+// reached a worker.
+var ErrShed = errors.New("engine: packet shed under overload")
+
+// PanicError wraps a classifier panic contained by a worker. The packet
+// that triggered it gets a Result with Err set to a *PanicError; every
+// other packet is unaffected.
+type PanicError struct {
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the worker stack at recovery time.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("engine: classifier panicked: %v", e.Value)
+}
+
 // Result is one classified packet: its arrival sequence number, the header,
-// and the matched rule (−1 for none).
+// and the matched rule (−1 for none). Err is non-nil when the packet was
+// not classified: *PanicError for a contained classifier panic, ErrShed
+// for an overload drop, or the context error for a packet overtaken by
+// cancellation; Match is −1 in all error cases.
 type Result struct {
 	Seq    uint64
 	Header rules.Header
 	Match  int
+	Err    error
 }
 
 // Stats reports one Run.
 type Stats struct {
-	// Packets processed.
+	// Packets successfully classified and emitted (Err == nil).
 	Packets int
+	// Shed packets tail-dropped by the overload policy.
+	Shed int
+	// Panics is the number of classifier panics contained by workers.
+	Panics int
+	// Canceled packets: those cut off by context cancellation — either
+	// never dispatched or overtaken in the ring.
+	Canceled int
+	// EmitPanics counts emit callback panics that were contained (at most
+	// one: emit is not called again after it panics).
+	EmitPanics int
 	// MaxReorder is the largest number of results the reorder stage held
 	// back waiting for an earlier sequence number (0 when ordering is
 	// off or classification completed in order).
 	MaxReorder int
 }
 
+// Errors is the total number of error results (shed + panicked + canceled).
+func (s Stats) Errors() int { return s.Shed + s.Panics + s.Canceled }
+
 // Run classifies every header, invoking emit exactly once per packet from
 // a single goroutine. With PreserveOrder, emit sees results strictly in
 // arrival order; otherwise in completion order. Run blocks until all
 // packets are emitted.
 func Run(cl Classifier, cfg Config, headers []rules.Header, emit func(Result)) (Stats, error) {
+	return RunContext(context.Background(), cl, cfg, headers, emit)
+}
+
+// RunContext is Run with a deadline/cancellation context. When ctx is
+// canceled mid-run, in-flight packets drain with Err set to the context
+// error, undispatched packets are counted in Stats.Canceled without being
+// emitted, and RunContext returns ctx's error. Regardless of how the run
+// ends, no goroutine outlives the call.
+//
+// Failure containment: a classifier panic yields a Result with a
+// *PanicError for that packet only. If emit itself panics, the engine
+// stops calling it, drains the workers so nothing leaks, and reports the
+// panic in the returned error.
+func RunContext(ctx context.Context, cl Classifier, cfg Config, headers []rules.Header, emit func(Result)) (Stats, error) {
 	if err := cfg.fillDefaults(); err != nil {
 		return Stats{}, err
 	}
@@ -90,57 +183,144 @@ func Run(cl Classifier, cfg Config, headers []rules.Header, emit func(Result)) (
 		h   rules.Header
 	}
 	jobs := make(chan job, cfg.QueueDepth)
+	// results carries one entry per dispatched-or-shed packet. The main
+	// loop below drains it unconditionally until close, which is what
+	// guarantees workers can always deliver and never leak.
 	results := make(chan Result, cfg.QueueDepth)
 
 	var wg sync.WaitGroup
+	var panics atomic.Int64
 	for w := 0; w < cfg.Workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
-				results <- Result{Seq: j.seq, Header: j.h, Match: cl.Classify(j.h)}
+				var r Result
+				if err := ctx.Err(); err != nil {
+					// Cancellation overtook this packet in the ring:
+					// fail it fast instead of classifying.
+					r = Result{Seq: j.seq, Header: j.h, Match: -1, Err: err}
+				} else {
+					r = classifyOne(cl, j.seq, j.h)
+					if r.Err != nil {
+						panics.Add(1)
+					}
+				}
+				results <- r
 			}
 		}()
 	}
+
+	var undispatched atomic.Int64
 	go func() {
+		defer close(jobs)
 		for i, h := range headers {
-			jobs <- job{seq: uint64(i), h: h}
+			if ctx.Err() != nil {
+				undispatched.Store(int64(len(headers) - i))
+				return
+			}
+			j := job{seq: uint64(i), h: h}
+			if cfg.Overload == OverloadShed {
+				select {
+				case jobs <- j:
+				default:
+					// Ring full: tail-drop. Delivering the shed marker
+					// through results keeps the sequence space gap-free
+					// for the reorder stage.
+					results <- Result{Seq: j.seq, Header: j.h, Match: -1, Err: ErrShed}
+				}
+				continue
+			}
+			jobs <- j
 		}
-		close(jobs)
+	}()
+	go func() {
 		wg.Wait()
 		close(results)
 	}()
 
 	st := Stats{}
-	if !cfg.PreserveOrder {
-		for r := range results {
-			emit(r)
+	var emitErr error
+	emitOne := func(r Result) {
+		switch {
+		case r.Err == nil:
 			st.Packets++
+		case errors.Is(r.Err, ErrShed):
+			st.Shed++
+		case isPanicErr(r.Err):
+			// counted via the panics atomic; tallied below
+		default:
+			st.Canceled++
 		}
-		return st, nil
-	}
-	// Reorder stage: hold completed results until their predecessors
-	// arrive, exactly like a sequence-numbered transmit stage on the NP.
-	pending := make(map[uint64]Result)
-	next := uint64(0)
-	for r := range results {
-		pending[r.Seq] = r
-		if len(pending) > st.MaxReorder {
-			st.MaxReorder = len(pending)
+		if emitErr != nil {
+			return // emit already panicked once; never call it again
 		}
-		for {
-			out, ok := pending[next]
-			if !ok {
-				break
+		defer func() {
+			if p := recover(); p != nil {
+				st.EmitPanics++
+				emitErr = fmt.Errorf("engine: emit panicked on packet %d: %v", r.Seq, p)
 			}
-			delete(pending, next)
-			emit(out)
-			st.Packets++
-			next++
+		}()
+		emit(r)
+	}
+
+	if cfg.PreserveOrder {
+		// Reorder stage: hold completed results until their predecessors
+		// arrive, exactly like a sequence-numbered transmit stage on the NP.
+		pending := make(map[uint64]Result)
+		next := uint64(0)
+		for r := range results {
+			pending[r.Seq] = r
+			if len(pending) > st.MaxReorder {
+				st.MaxReorder = len(pending)
+			}
+			for {
+				out, ok := pending[next]
+				if !ok {
+					break
+				}
+				delete(pending, next)
+				emitOne(out)
+				next++
+			}
+		}
+		if len(pending) != 0 {
+			return st, fmt.Errorf("engine: %d results stranded in the reorder buffer", len(pending))
+		}
+	} else {
+		for r := range results {
+			emitOne(r)
 		}
 	}
-	if len(pending) != 0 {
-		return st, fmt.Errorf("engine: %d results stranded in the reorder buffer", len(pending))
+	st.Panics = int(panics.Load())
+	st.Canceled += int(undispatched.Load())
+
+	switch {
+	case emitErr != nil:
+		return st, emitErr
+	case ctx.Err() != nil:
+		return st, fmt.Errorf("engine: run cut short, %d of %d packets canceled: %w",
+			st.Canceled, len(headers), ctx.Err())
+	case st.Panics > 0:
+		return st, fmt.Errorf("engine: %d of %d packets failed with contained classifier panics",
+			st.Panics, len(headers))
 	}
 	return st, nil
+}
+
+// classifyOne runs one lookup with panic containment: a panicking
+// classifier costs its packet, not the worker.
+func classifyOne(cl Classifier, seq uint64, h rules.Header) (r Result) {
+	defer func() {
+		if p := recover(); p != nil {
+			r = Result{Seq: seq, Header: h, Match: -1,
+				Err: &PanicError{Value: p, Stack: debug.Stack()}}
+		}
+	}()
+	return Result{Seq: seq, Header: h, Match: cl.Classify(h)}
+}
+
+func isPanicErr(err error) bool {
+	var pe *PanicError
+	return errors.As(err, &pe)
 }

@@ -1,0 +1,75 @@
+package memlayout
+
+import (
+	"bytes"
+	"testing"
+)
+
+// saved serializes a small image for use as a seed corpus entry.
+func saved(build func(im *Image)) []byte {
+	im := NewImage()
+	build(im)
+	var buf bytes.Buffer
+	if err := im.Save(&buf); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzLoadImage asserts the loader is total on hostile input: truncated
+// files, flipped bits, and headers declaring absurd word counts must all
+// return errors — never panic, and never allocate anywhere near the
+// declared (attacker-controlled) size before the input runs out.
+func FuzzLoadImage(f *testing.F) {
+	f.Add(saved(func(im *Image) {}))
+	f.Add(saved(func(im *Image) {
+		im.Alloc(0, []uint32{1, 2, 3})
+		im.Alloc(3, []uint32{0xDEADBEEF})
+	}))
+	f.Add(saved(func(im *Image) {
+		im.Reserve(1, 64)
+		im.Set(1, 5, 42)
+	}))
+	f.Add([]byte{})
+	f.Add([]byte("NPIM"))
+	f.Add([]byte("NPIM\x01\x00\x00\x00"))
+	// Header claiming ~512 Mi words per channel with no payload: must
+	// fail fast on truncation, not allocate gigabytes.
+	huge := []byte("NPIM\x01\x00\x00\x00" +
+		"\xff\xff\xff\x1f\xff\xff\xff\x1f\xff\xff\xff\x1f\xff\xff\xff\x1f")
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		im, err := LoadImage(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Anything that loads must be internally consistent: re-saving
+		// and re-loading yields the identical word image.
+		var buf bytes.Buffer
+		if err := im.Save(&buf); err != nil {
+			t.Fatalf("re-saving a loaded image: %v", err)
+		}
+		im2, err := LoadImage(&buf)
+		if err != nil {
+			t.Fatalf("re-loading a saved image: %v", err)
+		}
+		for c := range im.chans {
+			if !equalWords(im.chans[c], im2.chans[c]) {
+				t.Fatalf("channel %d changed across save/load", c)
+			}
+		}
+	})
+}
+
+func equalWords(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -93,12 +93,24 @@ func LoadImage(r io.Reader) (*Image, error) {
 			return nil, fmt.Errorf("memlayout: channel %d word count %d is implausible", c, counts[c])
 		}
 	}
+	// Grow each channel incrementally rather than trusting the declared
+	// counts with one big allocation: a corrupted header claiming ~2^29
+	// words per channel must fail on the (truncated) input, not OOM the
+	// loader first. Preallocation is capped; appends only happen for words
+	// actually present in the input.
+	const preallocCap = 64 << 10 // 256 KB per channel up front, at most
 	for c := 0; c < NumChannels; c++ {
-		words := make([]uint32, counts[c])
-		for i := range words {
-			if words[i], err = get(); err != nil {
-				return nil, err
+		prealloc := counts[c]
+		if prealloc > preallocCap {
+			prealloc = preallocCap
+		}
+		words := make([]uint32, 0, prealloc)
+		for i := uint32(0); i < counts[c]; i++ {
+			w, err := get()
+			if err != nil {
+				return nil, fmt.Errorf("memlayout: channel %d truncated at word %d of %d: %w", c, i, counts[c], err)
 			}
+			words = append(words, w)
 		}
 		im.chans[c] = words
 	}

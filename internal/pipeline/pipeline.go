@@ -108,17 +108,47 @@ func (c *AppConfig) fillDefaults() error {
 	return nil
 }
 
+// ValidatePrograms rejects access programs the simulator cannot safely
+// run: a step targeting a channel the machine does not have would
+// otherwise surface as an index panic deep inside the discrete-event
+// core. Both Run entry points call this before simulating.
+func ValidatePrograms(programs []nptrace.Program) error {
+	for i := range programs {
+		for j, s := range programs[i].Steps {
+			if int(s.Channel) >= memlayout.NumChannels {
+				return fmt.Errorf("pipeline: program %d step %d targets SRAM channel %d (machine has %d)",
+					i, j, s.Channel, memlayout.NumChannels)
+			}
+		}
+	}
+	return nil
+}
+
+// runSim runs the simulator with panic isolation: a corrupted program or
+// a simulator bug becomes an error return, not a crashed caller.
+func runSim(np npsim.Config, programs []nptrace.Program, packets int) (r npsim.Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			r, err = npsim.Result{}, fmt.Errorf("pipeline: simulator panicked: %v", p)
+		}
+	}()
+	return npsim.Run(np, programs, packets)
+}
+
 // RunMultiprocessing simulates the application with the multiprocessing
 // mapping: every classification thread executes whole access programs.
 func RunMultiprocessing(cfg AppConfig, programs []nptrace.Program, packets int) (npsim.Result, error) {
 	if err := cfg.fillDefaults(); err != nil {
 		return npsim.Result{}, err
 	}
+	if err := ValidatePrograms(programs); err != nil {
+		return npsim.Result{}, err
+	}
 	np := cfg.NP
 	np.Threads = cfg.Threads()
 	np.ThreadsPerME = cfg.ThreadsPerME
 	np.SRAM.Headroom = cfg.Headroom
-	return npsim.Run(np, programs, packets)
+	return runSim(np, programs, packets)
 }
 
 // ringOverheadCycles is the per-hop cost of passing packet state between
@@ -146,6 +176,9 @@ func RunContextPipelining(cfg AppConfig, programs []nptrace.Program, packets int
 	if err := cfg.fillDefaults(); err != nil {
 		return PipelineResult{}, err
 	}
+	if err := ValidatePrograms(programs); err != nil {
+		return PipelineResult{}, err
+	}
 	stages := cfg.ClassifyMEs
 	out := PipelineResult{Stages: make([]npsim.Result, stages)}
 	best := -1.0
@@ -158,7 +191,7 @@ func RunContextPipelining(cfg AppConfig, programs []nptrace.Program, packets int
 		np.Threads = cfg.ThreadsPerME // one ME per stage
 		np.ThreadsPerME = cfg.ThreadsPerME
 		np.SRAM.Headroom = cfg.Headroom
-		r, err := npsim.Run(np, stagePrograms, packets)
+		r, err := runSim(np, stagePrograms, packets)
 		if err != nil {
 			return PipelineResult{}, err
 		}

@@ -6,13 +6,25 @@
 // replacement classifier is built off the fast path, and readers are
 // switched over atomically — packets classify against a consistent
 // generation at all times, with zero locking on the lookup path.
+//
+// The swap is guarded, not blind. Before a candidate generation goes
+// live it passes a shadow conformance check: the candidate classifies a
+// deterministic sample of headers and every answer is compared against
+// priority linear search over the authoritative rule list. A builder
+// that fails is retried with capped exponential backoff; a candidate
+// that builds but misclassifies is rejected and the live generation is
+// untouched. The previous generation is retained so a bad generation
+// detected after the swap can be rolled back instantly, without a
+// rebuild. Health exposes the counters behind all of this.
 package update
 
 import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/pktgen"
 	"repro/internal/rules"
 )
 
@@ -47,15 +59,95 @@ func DeleteAt(pos int) Op {
 	return Op{Pos: pos}
 }
 
+// Config tunes the swap guard rails. The zero value enables validation
+// with the defaults below.
+type Config struct {
+	// ValidateSamples is the number of sampled headers the shadow
+	// conformance check classifies before a swap; 0 means
+	// DefaultValidateSamples, negative disables validation.
+	ValidateSamples int
+	// ValidateSeed seeds the deterministic sample trace (0 means 1).
+	ValidateSeed int64
+	// MaxBuildAttempts bounds builder retries per rebuild; 0 means
+	// DefaultMaxBuildAttempts.
+	MaxBuildAttempts int
+	// BackoffBase is the sleep before the second build attempt; it
+	// doubles per retry up to BackoffMax. 0 means DefaultBackoffBase.
+	BackoffBase time.Duration
+	// BackoffMax caps the backoff; 0 means DefaultBackoffMax.
+	BackoffMax time.Duration
+}
+
+// Guard-rail defaults.
+const (
+	DefaultValidateSamples  = 256
+	DefaultMaxBuildAttempts = 3
+	DefaultBackoffBase      = 5 * time.Millisecond
+	DefaultBackoffMax       = 250 * time.Millisecond
+)
+
+func (c *Config) fillDefaults() {
+	if c.ValidateSamples == 0 {
+		c.ValidateSamples = DefaultValidateSamples
+	}
+	if c.ValidateSeed == 0 {
+		c.ValidateSeed = 1
+	}
+	if c.MaxBuildAttempts <= 0 {
+		c.MaxBuildAttempts = DefaultMaxBuildAttempts
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = DefaultBackoffBase
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = DefaultBackoffMax
+	}
+}
+
+// Health is a point-in-time snapshot of the manager's introspection
+// counters.
+type Health struct {
+	// Generation is the live generation number.
+	Generation uint64
+	// Rules is the live generation's rule count.
+	Rules int
+	// MemoryBytes is the live classifier's footprint.
+	MemoryBytes int
+	// CanRollback reports whether a previous generation is retained.
+	CanRollback bool
+	// BuildRetries counts builder attempts beyond the first, across all
+	// rebuilds.
+	BuildRetries uint64
+	// FailedBuilds counts rebuilds whose builder never succeeded.
+	FailedBuilds uint64
+	// FailedValidations counts candidates rejected by the shadow
+	// conformance check.
+	FailedValidations uint64
+	// Rollbacks counts successful Rollback calls.
+	Rollbacks uint64
+	// LastError describes the most recent failed Apply/Rollback, empty
+	// when the last operation succeeded.
+	LastError string
+}
+
 // Manager owns the authoritative rule list and the live classifier
 // generation. Classify is wait-free with respect to updates.
 type Manager struct {
 	build Builder
+	cfg   Config
+	sleep func(time.Duration) // time.Sleep, overridable in tests
 
 	mu    sync.Mutex // serializes updates, not lookups
 	name  string
 	rules []rules.Rule
 	gen   uint64
+	prev  *generation // retained for Rollback; nil initially
+
+	buildRetries      atomic.Uint64
+	failedBuilds      atomic.Uint64
+	failedValidations atomic.Uint64
+	rollbacks         atomic.Uint64
+	lastError         atomic.Pointer[string]
 
 	live atomic.Pointer[generation]
 }
@@ -67,10 +159,19 @@ type generation struct {
 	gen   uint64
 }
 
-// NewManager builds the initial generation from the rule set.
+// NewManager builds the initial generation from the rule set with the
+// default guard rails.
 func NewManager(rs *rules.RuleSet, build Builder) (*Manager, error) {
+	return NewManagerConfig(rs, build, Config{})
+}
+
+// NewManagerConfig is NewManager with explicit guard-rail configuration.
+func NewManagerConfig(rs *rules.RuleSet, build Builder, cfg Config) (*Manager, error) {
+	cfg.fillDefaults()
 	m := &Manager{
 		build: build,
+		cfg:   cfg,
+		sleep: time.Sleep,
 		name:  rs.Name,
 		rules: append([]rules.Rule(nil), rs.Rules...),
 	}
@@ -95,7 +196,7 @@ func (m *Manager) Snapshot() ([]rules.Rule, uint64) {
 }
 
 // Generation returns the live generation number; it increments on every
-// successful Apply.
+// successful Apply or Rollback.
 func (m *Manager) Generation() uint64 {
 	return m.live.Load().gen
 }
@@ -105,10 +206,33 @@ func (m *Manager) MemoryBytes() int {
 	return m.live.Load().cl.MemoryBytes()
 }
 
+// Health returns the manager's introspection counters.
+func (m *Manager) Health() Health {
+	m.mu.Lock()
+	canRollback := m.prev != nil
+	m.mu.Unlock()
+	g := m.live.Load()
+	h := Health{
+		Generation:        g.gen,
+		Rules:             len(g.rules),
+		MemoryBytes:       g.cl.MemoryBytes(),
+		CanRollback:       canRollback,
+		BuildRetries:      m.buildRetries.Load(),
+		FailedBuilds:      m.failedBuilds.Load(),
+		FailedValidations: m.failedValidations.Load(),
+		Rollbacks:         m.rollbacks.Load(),
+	}
+	if s := m.lastError.Load(); s != nil {
+		h.LastError = *s
+	}
+	return h
+}
+
 // Apply validates and applies a batch of ops atomically: either the whole
 // batch becomes visible as one new generation, or the live generation is
 // unchanged. The fast path keeps serving the old generation during the
-// rebuild.
+// rebuild; the candidate passes the shadow conformance check before the
+// swap.
 func (m *Manager) Apply(ops []Op) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -128,31 +252,133 @@ func (m *Manager) Apply(ops []Op) error {
 			continue
 		}
 		if op.Pos < 0 || op.Pos >= len(next) {
-			return fmt.Errorf("update: op %d deletes position %d of %d rules", i, op.Pos, len(next))
+			return m.fail(fmt.Errorf("update: op %d deletes position %d of %d rules", i, op.Pos, len(next)))
 		}
 		next = append(next[:op.Pos], next[op.Pos+1:]...)
 	}
 	if len(next) == 0 {
-		return fmt.Errorf("update: batch would empty the rule set")
+		return m.fail(fmt.Errorf("update: batch would empty the rule set"))
 	}
 	old := m.rules
 	m.rules = next
 	if err := m.rebuildLocked(); err != nil {
 		m.rules = old
-		return fmt.Errorf("update: rebuild failed, batch rolled back: %w", err)
+		return m.fail(fmt.Errorf("update: rebuild failed, batch rolled back: %w", err))
+	}
+	m.clearError()
+	return nil
+}
+
+// Rollback atomically reinstates the previous generation — its classifier
+// and rule snapshot become authoritative under a new generation number,
+// with no rebuild and no validation (the generation already served).
+// It fails when no previous generation is retained; rolling back twice
+// swaps forth and back.
+func (m *Manager) Rollback() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.prev == nil {
+		return m.fail(fmt.Errorf("update: no previous generation to roll back to"))
+	}
+	target := m.prev
+	m.prev = m.live.Load()
+	m.rules = append([]rules.Rule(nil), target.rules...)
+	m.gen++
+	m.live.Store(&generation{cl: target.cl, rules: target.rules, gen: m.gen})
+	m.rollbacks.Add(1)
+	m.clearError()
+	return nil
+}
+
+// rebuildLocked builds, validates and publishes a new generation from
+// m.rules, retaining the outgoing generation for Rollback.
+func (m *Manager) rebuildLocked() error {
+	snapshot := append([]rules.Rule(nil), m.rules...)
+	rs := rules.NewRuleSet(fmt.Sprintf("%s@%d", m.name, m.gen+1), snapshot)
+	cl, err := m.buildWithRetry(rs)
+	if err != nil {
+		m.failedBuilds.Add(1)
+		return err
+	}
+	if err := m.validate(cl, rs); err != nil {
+		m.failedValidations.Add(1)
+		return err
+	}
+	m.gen++
+	if cur := m.live.Load(); cur != nil {
+		m.prev = cur
+	}
+	m.live.Store(&generation{cl: cl, rules: snapshot, gen: m.gen})
+	return nil
+}
+
+// buildWithRetry drives the builder through up to MaxBuildAttempts tries
+// with capped exponential backoff between them.
+func (m *Manager) buildWithRetry(rs *rules.RuleSet) (Classifier, error) {
+	backoff := m.cfg.BackoffBase
+	var lastErr error
+	for attempt := 1; attempt <= m.cfg.MaxBuildAttempts; attempt++ {
+		if attempt > 1 {
+			m.buildRetries.Add(1)
+			m.sleep(backoff)
+			backoff *= 2
+			if backoff > m.cfg.BackoffMax {
+				backoff = m.cfg.BackoffMax
+			}
+		}
+		cl, err := m.build(rs)
+		if err == nil {
+			if cl == nil {
+				return nil, fmt.Errorf("update: builder returned a nil classifier")
+			}
+			return cl, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("update: builder failed %d times, last: %w", m.cfg.MaxBuildAttempts, lastErr)
+}
+
+// validate shadow-checks the candidate against priority linear search over
+// the authoritative rule list on a deterministic sampled header set.
+func (m *Manager) validate(cl Classifier, rs *rules.RuleSet) error {
+	if m.cfg.ValidateSamples < 0 {
+		return nil
+	}
+	tr, err := pktgen.Generate(rs, pktgen.Config{
+		Count:         m.cfg.ValidateSamples,
+		Seed:          m.cfg.ValidateSeed,
+		MatchFraction: 0.9,
+	})
+	if err != nil {
+		return fmt.Errorf("update: generating validation sample: %w", err)
+	}
+	for _, h := range tr.Headers {
+		got := safeClassify(cl, h)
+		if want := rs.Match(h); got != want {
+			return fmt.Errorf("update: validation failed: candidate classifies %v as %d, linear oracle says %d", h, got, want)
+		}
 	}
 	return nil
 }
 
-// rebuildLocked builds and publishes a new generation from m.rules.
-func (m *Manager) rebuildLocked() error {
-	snapshot := append([]rules.Rule(nil), m.rules...)
-	rs := rules.NewRuleSet(fmt.Sprintf("%s@%d", m.name, m.gen+1), snapshot)
-	cl, err := m.build(rs)
-	if err != nil {
-		return err
-	}
-	m.gen++
-	m.live.Store(&generation{cl: cl, rules: snapshot, gen: m.gen})
-	return nil
+// safeClassify contains candidate panics during validation: a classifier
+// that panics on a sampled header is as rejected as one that misclassifies.
+func safeClassify(cl Classifier, h rules.Header) (match int) {
+	defer func() {
+		if recover() != nil {
+			match = -2 // never a legal match value, so validation fails
+		}
+	}()
+	return cl.Classify(h)
+}
+
+// fail records err in Health.LastError and returns it.
+func (m *Manager) fail(err error) error {
+	s := err.Error()
+	m.lastError.Store(&s)
+	return err
+}
+
+func (m *Manager) clearError() {
+	m.lastError.Store(nil)
 }

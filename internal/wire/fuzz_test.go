@@ -1,0 +1,49 @@
+package wire
+
+import (
+	"testing"
+
+	"repro/internal/rules"
+)
+
+// FuzzParseFrame asserts the decode path is total: arbitrary bytes —
+// truncated frames, bit-flipped headers, lying IHL fields — either parse
+// or return an error. It must never panic or index out of range.
+func FuzzParseFrame(f *testing.F) {
+	// Seed with well-formed frames across protocols...
+	seeds := []rules.Header{
+		{SrcIP: 0x0A000001, DstIP: 0xC0A80001, SrcPort: 1234, DstPort: 80, Proto: rules.ProtoTCP},
+		{SrcIP: 0xFFFFFFFF, DstIP: 0, SrcPort: 0, DstPort: 65535, Proto: rules.ProtoUDP},
+		{SrcIP: 1, DstIP: 2, Proto: 1}, // ICMP: no ports
+		{},
+	}
+	for _, h := range seeds {
+		f.Add(BuildFrame(h))
+	}
+	// ...and degenerate inputs.
+	f.Add([]byte{})
+	f.Add([]byte{0x45})
+	f.Add(make([]byte, 13))
+	f.Add(make([]byte, FrameSize))
+	// A frame whose IHL claims options beyond the buffer.
+	bad := BuildFrame(seeds[0])
+	bad[14] = 0x4F // IHL 15 -> 60-byte header
+	f.Add(bad)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := ParseFrame(data)
+		if err != nil {
+			return
+		}
+		// A frame that parses must re-serialize into a frame that parses
+		// to the same 5-tuple (BuildFrame normalizes, so only the tuple
+		// round-trips, not the raw bytes).
+		h2, err := ParseFrame(BuildFrame(h))
+		if err != nil {
+			t.Fatalf("rebuilt frame failed to parse: %v", err)
+		}
+		if h2 != h {
+			t.Fatalf("5-tuple changed across rebuild: %+v -> %+v", h, h2)
+		}
+	})
+}
