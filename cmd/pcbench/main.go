@@ -7,7 +7,12 @@
 //	pcbench -experiment fig6,fig9 -packets 50000
 //
 // Experiments: fig6 fig7 fig8 fig9 tab2 tab4 tab5
-// stride habs popcount binth sharing extended all
+// stride habs popcount binth sharing extended ladder all
+//
+// The ladder experiment walks every rule set (standard + pathological)
+// through the degradation ladder given by -ladder under the build budget
+// given by -build-timeout / -build-maxnodes, and prints which rung ended
+// up serving each run.
 package main
 
 import (
@@ -17,16 +22,21 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/buildgov"
 	"repro/internal/experiments"
 )
 
 func main() {
 	var (
-		which    = flag.String("experiment", "all", "comma-separated experiment list (fig6 fig7 fig8 fig9 tab2 tab4 tab5 stride habs popcount binth sharing extended all)")
+		which    = flag.String("experiment", "all", "comma-separated experiment list (fig6 fig7 fig8 fig9 tab2 tab4 tab5 stride habs popcount binth sharing extended ladder all)")
 		packets  = flag.Int("packets", 25000, "packets per simulation")
 		traceLen = flag.Int("trace", 2000, "distinct headers per trace")
 		seed     = flag.Int64("seed", 1, "trace seed")
 		extSet   = flag.String("set", "CR04", "rule set for the extended comparison")
+
+		buildTimeout  = flag.Duration("build-timeout", 500*time.Millisecond, "ladder: wall-clock budget per build attempt (0 = unlimited)")
+		buildMaxNodes = flag.Int("build-maxnodes", 0, "ladder: node/table-row budget per build attempt (0 = unlimited)")
+		ladderNames   = flag.String("ladder", "expcuts,hicuts,hsm,linear", "ladder: degradation rungs, best first")
 	)
 	flag.Parse()
 
@@ -88,6 +98,18 @@ func main() {
 		{"extended", func() (string, error) {
 			rows, err := experiments.Extended(ctx, *extSet)
 			return experiments.RenderExtended(rows, *extSet), err
+		}},
+		{"ladder", func() (string, error) {
+			var budget *buildgov.Budget
+			if *buildTimeout > 0 || *buildMaxNodes > 0 {
+				budget = &buildgov.Budget{Timeout: *buildTimeout, MaxNodes: *buildMaxNodes}
+			}
+			names := strings.Split(*ladderNames, ",")
+			rows, err := experiments.Ladder(ctx, names, budget)
+			if err != nil {
+				return "", err
+			}
+			return experiments.RenderLadder(rows, names, budget), nil
 		}},
 	}
 

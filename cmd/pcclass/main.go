@@ -11,6 +11,13 @@
 // With -workers > 0 the trace runs through the hardened parallel engine:
 // classifier panics are contained per-packet, -timeout bounds the whole
 // run, and -overload picks back-pressure vs. tail-drop under load.
+//
+// Builds are resource-governed: -build-timeout and -build-maxnodes set a
+// buildgov budget, so a hostile rule set aborts with a typed error
+// instead of hanging the command. With -ladder the single -algo build is
+// replaced by a degradation ladder (e.g. expcuts,hicuts,hsm,linear):
+// rungs are tried best-first under the budget and the report says which
+// rung ended up serving.
 package main
 
 import (
@@ -23,15 +30,18 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/buildgov"
 	"repro/internal/engine"
 	"repro/internal/expcuts"
 	"repro/internal/hicuts"
 	"repro/internal/hsm"
+	"repro/internal/hypercuts"
 	"repro/internal/linear"
 	"repro/internal/pktgen"
 	"repro/internal/rfc"
 	"repro/internal/rulegen"
 	"repro/internal/rules"
+	"repro/internal/update"
 )
 
 type classifier interface {
@@ -47,13 +57,17 @@ func main() {
 		traceFile = flag.String("trace", "", "trace file from pcgen")
 		gen       = flag.Int("gen", 0, "generate a trace of this length instead of -trace")
 		seed      = flag.Int64("seed", 1, "generated-trace seed")
-		algo      = flag.String("algo", "expcuts", "expcuts, hicuts, hsm, rfc, linear")
+		algo      = flag.String("algo", "expcuts", "expcuts, hicuts, hypercuts, hsm, rfc, linear")
 		verify    = flag.Bool("verify", false, "cross-check every result against linear search")
 		workers   = flag.Int("workers", 0, "classify through the parallel engine with this many workers (0 = sequential)")
 		queue     = flag.Int("queue", 0, "engine dispatch ring depth (default 256)")
 		unordered = flag.Bool("unordered", false, "engine: emit results in completion order instead of arrival order")
 		overload  = flag.String("overload", "block", "engine overload policy: block (back-pressure) or shed (tail-drop)")
 		timeout   = flag.Duration("timeout", 0, "engine: per-run deadline (0 = none)")
+
+		buildTimeout  = flag.Duration("build-timeout", 0, "build budget: wall-clock bound (0 = none)")
+		buildMaxNodes = flag.Int("build-maxnodes", 0, "build budget: node/table-row bound (0 = none)")
+		ladderNames   = flag.String("ladder", "", "build through this degradation ladder (comma-separated rungs, best first) instead of -algo")
 	)
 	flag.Parse()
 
@@ -66,8 +80,17 @@ func main() {
 		fatal(err)
 	}
 
+	var budget *buildgov.Budget
+	if *buildTimeout > 0 || *buildMaxNodes > 0 {
+		budget = &buildgov.Budget{Timeout: *buildTimeout, MaxNodes: *buildMaxNodes}
+	}
 	start := time.Now()
-	cl, err := build(*algo, rs)
+	var cl classifier
+	if *ladderNames != "" {
+		cl, err = buildLadder(strings.Split(*ladderNames, ","), rs, budget)
+	} else {
+		cl, err = build(*algo, rs, budget)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -224,20 +247,51 @@ func loadTrace(rs *rules.RuleSet, file string, gen int, seed int64) ([]rules.Hea
 	return out, nil
 }
 
-func build(algo string, rs *rules.RuleSet) (classifier, error) {
+func build(algo string, rs *rules.RuleSet, budget *buildgov.Budget) (classifier, error) {
+	ctx := context.Background()
 	switch algo {
 	case "expcuts":
-		return expcuts.New(rs, expcuts.Config{})
+		return expcuts.NewCtx(ctx, rs, expcuts.Config{}, budget)
 	case "hicuts":
-		return hicuts.New(rs, hicuts.Config{})
+		return hicuts.NewCtx(ctx, rs, hicuts.Config{}, budget)
+	case "hypercuts":
+		return hypercuts.NewCtx(ctx, rs, hypercuts.Config{}, budget)
 	case "hsm":
-		return hsm.New(rs, hsm.Config{})
+		return hsm.NewCtx(ctx, rs, hsm.Config{}, budget)
 	case "rfc":
-		return rfc.New(rs, rfc.Config{})
+		return rfc.NewCtx(ctx, rs, rfc.Config{}, budget)
 	case "linear":
 		return linear.New(rs), nil
 	}
-	return nil, fmt.Errorf("unknown algorithm %q (expcuts, hicuts, hsm, rfc, linear)", algo)
+	return nil, fmt.Errorf("unknown algorithm %q (expcuts, hicuts, hypercuts, hsm, rfc, linear)", algo)
+}
+
+// laddered adapts an update.Manager to the local classifier interface
+// and forwards DescribeAlgorithm so the engine attributes runs to the
+// serving rung.
+type laddered struct{ m *update.Manager }
+
+func (l laddered) Classify(h rules.Header) int { return l.m.Classify(h) }
+func (l laddered) MemoryBytes() int            { return l.m.MemoryBytes() }
+func (l laddered) Name() string {
+	algo, level := l.m.DescribeAlgorithm()
+	return fmt.Sprintf("ladder:%s (degradation level %d)", algo, level)
+}
+func (l laddered) DescribeAlgorithm() (string, int) { return l.m.DescribeAlgorithm() }
+
+func buildLadder(names []string, rs *rules.RuleSet, budget *buildgov.Budget) (classifier, error) {
+	rungs, err := update.LadderFromNames(names, budget)
+	if err != nil {
+		return nil, err
+	}
+	m, err := update.NewManagerLadder(rs, rungs, update.Config{MaxBuildAttempts: 1})
+	if err != nil {
+		return nil, err
+	}
+	if h := m.Health(); h.BudgetTrips > 0 {
+		fmt.Printf("ladder        %d budget-tripped build(s) before settling\n", h.BudgetTrips)
+	}
+	return laddered{m: m}, nil
 }
 
 func fatal(err error) {

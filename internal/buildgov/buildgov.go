@@ -1,0 +1,260 @@
+// Package buildgov governs classifier *construction* the way the engine
+// governs classification: with explicit, enforced resource bounds. The
+// decision-tree and cross-producting builders in this repository are
+// super-linear in rule overlap — an adversarial or merely unlucky rule set
+// can blow up node counts, memoization tables, resident memory and build
+// time by orders of magnitude (the failure surface of the whole
+// HiCuts/HyperCuts/ExpCuts family). A serving process that rebuilds
+// classifiers from untrusted or machine-generated rule feeds therefore
+// needs every build to terminate in bounded time with bounded memory, no
+// matter what the rule set looks like.
+//
+// Go offers no preemptive way to stop a runaway computation or cap a
+// goroutine's heap, so governance is *cooperative*: builders thread a
+// *Governor through their build loops and charge every node, memoization
+// entry and estimated heap byte against a Budget. The first limit crossed
+// — or context cancellation, or the wall-clock deadline — makes every
+// subsequent Governor call return a typed *BudgetError (wrapping
+// ErrBudgetExceeded) carrying the partial consumption stats, and the
+// builder unwinds. Because the builders charge work at least once per
+// node / table row, a tripped build aborts within a bounded amount of
+// additional work, not at some unbounded future point.
+//
+// Byte accounting is an estimate, not an os-level cap: builders charge
+// the sizes of the structures they allocate (see each builder's
+// estimatedNodeBytes accounting and DESIGN.md for how node counts map to
+// serialized memlayout words). The estimate deliberately under-counts
+// small fixed overheads and is meant for "tens of megabytes vs gigabytes"
+// discrimination, which is what keeps a process alive.
+package buildgov
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrBudgetExceeded is the sentinel every budget violation wraps. Callers
+// distinguish deterministic budget trips (not worth retrying — the same
+// build would trip the same limit) from transient build failures with
+// errors.Is(err, ErrBudgetExceeded).
+var ErrBudgetExceeded = errors.New("buildgov: build budget exceeded")
+
+// Budget bounds one classifier build. The zero value of any field means
+// "unlimited" for that axis; a nil *Budget governs nothing but still
+// honors context cancellation.
+type Budget struct {
+	// Timeout is the wall-clock bound on the build, measured from
+	// Start. It combines with any deadline already on the context
+	// (whichever expires first wins).
+	Timeout time.Duration
+	// MaxNodes bounds tree nodes / table rows charged via Nodes.
+	MaxNodes int
+	// MaxHeapBytes bounds the builder's own estimate of live allocated
+	// bytes charged via Bytes (see the package comment on accuracy).
+	MaxHeapBytes int64
+	// MaxMemoEntries bounds memoization/interning entries charged via
+	// Memo — the hidden multiplier of sharing-based builders.
+	MaxMemoEntries int
+}
+
+// Stats is the partial consumption snapshot carried by a BudgetError and
+// exposed by Governor.Stats.
+type Stats struct {
+	// Nodes, HeapBytes and MemoEntries are the amounts charged so far.
+	Nodes       int
+	HeapBytes   int64
+	MemoEntries int
+	// Elapsed is the wall-clock time since Start at snapshot time.
+	Elapsed time.Duration
+}
+
+// String renders the snapshot compactly for error messages and logs.
+func (s Stats) String() string {
+	return fmt.Sprintf("nodes=%d heap≈%dB memo=%d elapsed=%v",
+		s.Nodes, s.HeapBytes, s.MemoEntries, s.Elapsed.Round(time.Millisecond))
+}
+
+// BudgetError reports which limit a build crossed and what it had
+// consumed when it unwound. It wraps ErrBudgetExceeded (and the context
+// error, when the trip came from cancellation or a deadline).
+type BudgetError struct {
+	// Limit names the axis that tripped: "nodes", "heap-bytes",
+	// "memo-entries", "deadline" or "canceled".
+	Limit string
+	// Stats is the partial consumption at trip time.
+	Stats Stats
+	// Cause is non-nil when the trip came from the context.
+	Cause error
+}
+
+// Error implements error.
+func (e *BudgetError) Error() string {
+	if e.Cause != nil {
+		return fmt.Sprintf("buildgov: build aborted (%s) after %s: %v", e.Limit, e.Stats, e.Cause)
+	}
+	return fmt.Sprintf("buildgov: %s budget exceeded after %s", e.Limit, e.Stats)
+}
+
+// Unwrap lets errors.Is see both ErrBudgetExceeded and any context error.
+func (e *BudgetError) Unwrap() []error {
+	if e.Cause != nil {
+		return []error{ErrBudgetExceeded, e.Cause}
+	}
+	return []error{ErrBudgetExceeded}
+}
+
+// checkStride is how many Check calls may pass between wall-clock /
+// context polls. Builders call Check at least once per node or table
+// cell, so a tripped deadline is noticed within 8 units of per-node work.
+// The stride is deliberately small: a time.Now/ctx.Err pair costs ~100ns
+// while a node's worth of build work costs microseconds to milliseconds,
+// and the robustness suite asserts cancellation within 2x the deadline
+// even under the race detector's ~10x slowdown.
+const checkStride = 8
+
+// Governor meters one build against a Budget. It is used from the single
+// goroutine running the build (builders are sequential); it is not safe
+// for concurrent use. All methods are nil-receiver safe and then do
+// nothing, so ungoverned entry points pass nil straight through.
+//
+// Once any limit trips the error is sticky: every later Check/charge call
+// returns the same *BudgetError, so deep recursion unwinds promptly even
+// if intermediate frames ignore one error.
+type Governor struct {
+	ctx      context.Context
+	budget   Budget
+	start    time.Time
+	deadline time.Time // zero when unbounded
+	ctxOwned bool      // deadline was adopted from ctx, not the budget
+	stats    Stats
+	ticks    uint
+	err      *BudgetError
+}
+
+// Start begins metering a build. A nil budget yields a governor that only
+// watches ctx (cancellation still aborts the build); a nil result is
+// never returned, so builders need no nil checks beyond what the methods
+// already do.
+func Start(ctx context.Context, b *Budget) *Governor {
+	g := &Governor{ctx: ctx, start: time.Now()}
+	if b != nil {
+		g.budget = *b
+		if b.Timeout > 0 {
+			g.deadline = g.start.Add(b.Timeout)
+		}
+	}
+	if d, ok := ctx.Deadline(); ok && (g.deadline.IsZero() || d.Before(g.deadline)) {
+		g.deadline = d
+		g.ctxOwned = true
+	}
+	return g
+}
+
+// Check polls cancellation and the wall-clock deadline (amortized: the
+// expensive time/context reads run every checkStride calls, and always on
+// the first). Builders call it at the top of every build loop iteration.
+func (g *Governor) Check() error {
+	if g == nil {
+		return nil
+	}
+	if g.err != nil {
+		return g.err
+	}
+	if g.ticks%checkStride == 0 {
+		if err := g.ctx.Err(); err != nil {
+			return g.trip("canceled", err)
+		}
+		if !g.deadline.IsZero() && time.Now().After(g.deadline) {
+			// When the deadline was the context's, carry its error so
+			// errors.Is(err, context.DeadlineExceeded) holds even if the
+			// wall-clock check wins the race against ctx.Err().
+			var cause error
+			if g.ctxOwned {
+				cause = context.DeadlineExceeded
+			}
+			return g.trip("deadline", cause)
+		}
+	}
+	g.ticks++
+	return nil
+}
+
+// Nodes charges n tree nodes (or table rows) plus their estimated bytes,
+// and polls like Check.
+func (g *Governor) Nodes(n int, estBytes int64) error {
+	if g == nil {
+		return nil
+	}
+	if err := g.Check(); err != nil {
+		return err
+	}
+	g.stats.Nodes += n
+	g.stats.HeapBytes += estBytes
+	if g.budget.MaxNodes > 0 && g.stats.Nodes > g.budget.MaxNodes {
+		return g.trip("nodes", nil)
+	}
+	return g.checkBytes()
+}
+
+// Memo charges n memoization entries plus their estimated key bytes.
+func (g *Governor) Memo(n int, estBytes int64) error {
+	if g == nil {
+		return nil
+	}
+	if err := g.Check(); err != nil {
+		return err
+	}
+	g.stats.MemoEntries += n
+	g.stats.HeapBytes += estBytes
+	if g.budget.MaxMemoEntries > 0 && g.stats.MemoEntries > g.budget.MaxMemoEntries {
+		return g.trip("memo-entries", nil)
+	}
+	return g.checkBytes()
+}
+
+// Bytes charges estimated heap bytes (e.g. a cross-product table about to
+// be allocated). Charging *before* the allocation lets a builder refuse
+// an absurd table without ever holding it.
+func (g *Governor) Bytes(n int64) error {
+	if g == nil {
+		return nil
+	}
+	if err := g.Check(); err != nil {
+		return err
+	}
+	g.stats.HeapBytes += n
+	return g.checkBytes()
+}
+
+func (g *Governor) checkBytes() error {
+	if g.budget.MaxHeapBytes > 0 && g.stats.HeapBytes > g.budget.MaxHeapBytes {
+		return g.trip("heap-bytes", nil)
+	}
+	return nil
+}
+
+// Err returns the sticky budget error, or nil while the build is within
+// budget.
+func (g *Governor) Err() error {
+	if g == nil || g.err == nil {
+		return nil
+	}
+	return g.err
+}
+
+// Stats snapshots consumption so far.
+func (g *Governor) Stats() Stats {
+	if g == nil {
+		return Stats{}
+	}
+	s := g.stats
+	s.Elapsed = time.Since(g.start)
+	return s
+}
+
+func (g *Governor) trip(limit string, cause error) error {
+	g.err = &BudgetError{Limit: limit, Stats: g.Stats(), Cause: cause}
+	return g.err
+}

@@ -1,0 +1,187 @@
+package buildgov
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// A nil governor (and a Start with nil budget) must govern nothing: every
+// method is a no-op so ungoverned entry points need no branches.
+func TestNilGovernorIsInert(t *testing.T) {
+	var g *Governor
+	if err := g.Check(); err != nil {
+		t.Fatalf("nil.Check() = %v", err)
+	}
+	if err := g.Nodes(1e9, 1<<40); err != nil {
+		t.Fatalf("nil.Nodes() = %v", err)
+	}
+	if err := g.Memo(1e9, 1<<40); err != nil {
+		t.Fatalf("nil.Memo() = %v", err)
+	}
+	if err := g.Bytes(1 << 40); err != nil {
+		t.Fatalf("nil.Bytes() = %v", err)
+	}
+	if err := g.Err(); err != nil {
+		t.Fatalf("nil.Err() = %v", err)
+	}
+	if s := g.Stats(); s != (Stats{}) {
+		t.Fatalf("nil.Stats() = %+v, want zero", s)
+	}
+}
+
+func TestNilBudgetWatchesOnlyContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	g := Start(ctx, nil)
+	if err := g.Nodes(1e9, 1<<40); err != nil {
+		t.Fatalf("unlimited Nodes charge tripped: %v", err)
+	}
+	cancel()
+	err := pollUntilTrip(g)
+	var be *BudgetError
+	if !errors.As(err, &be) || be.Limit != "canceled" {
+		t.Fatalf("after cancel got %v, want BudgetError{Limit: canceled}", err)
+	}
+	if !errors.Is(err, ErrBudgetExceeded) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v should wrap both ErrBudgetExceeded and context.Canceled", err)
+	}
+}
+
+// pollUntilTrip calls Check up to 2*checkStride times — enough to cross
+// the amortized poll boundary at least once.
+func pollUntilTrip(g *Governor) error {
+	for i := 0; i < 2*checkStride; i++ {
+		if err := g.Check(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func TestNodeLimitTrips(t *testing.T) {
+	g := Start(context.Background(), &Budget{MaxNodes: 10})
+	var err error
+	for i := 0; i < 100 && err == nil; i++ {
+		err = g.Nodes(1, 8)
+	}
+	var be *BudgetError
+	if !errors.As(err, &be) || be.Limit != "nodes" {
+		t.Fatalf("got %v, want BudgetError{Limit: nodes}", err)
+	}
+	if be.Stats.Nodes != 11 {
+		t.Fatalf("trip stats recorded %d nodes, want 11 (first charge past the cap)", be.Stats.Nodes)
+	}
+}
+
+func TestMemoLimitTrips(t *testing.T) {
+	g := Start(context.Background(), &Budget{MaxMemoEntries: 5})
+	var err error
+	for i := 0; i < 100 && err == nil; i++ {
+		err = g.Memo(1, 64)
+	}
+	var be *BudgetError
+	if !errors.As(err, &be) || be.Limit != "memo-entries" {
+		t.Fatalf("got %v, want BudgetError{Limit: memo-entries}", err)
+	}
+}
+
+func TestHeapByteLimitTrips(t *testing.T) {
+	g := Start(context.Background(), &Budget{MaxHeapBytes: 1 << 20})
+	// A single absurd pre-allocation charge must be refused, whichever
+	// charging method carries it.
+	err := g.Bytes(1 << 30)
+	var be *BudgetError
+	if !errors.As(err, &be) || be.Limit != "heap-bytes" {
+		t.Fatalf("got %v, want BudgetError{Limit: heap-bytes}", err)
+	}
+
+	g = Start(context.Background(), &Budget{MaxHeapBytes: 100})
+	if err := g.Nodes(1, 101); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("Nodes byte charge got %v, want budget trip", err)
+	}
+	g = Start(context.Background(), &Budget{MaxHeapBytes: 100})
+	if err := g.Memo(1, 101); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("Memo byte charge got %v, want budget trip", err)
+	}
+}
+
+func TestDeadlineTripsWithinBound(t *testing.T) {
+	const timeout = 50 * time.Millisecond
+	g := Start(context.Background(), &Budget{Timeout: timeout})
+	start := time.Now()
+	var err error
+	for err == nil {
+		err = g.Check()
+	}
+	elapsed := time.Since(start)
+	var be *BudgetError
+	if !errors.As(err, &be) || be.Limit != "deadline" {
+		t.Fatalf("got %v, want BudgetError{Limit: deadline}", err)
+	}
+	// The robustness contract: cooperative polling notices the deadline
+	// well within 2x of it.
+	if elapsed > 2*timeout {
+		t.Fatalf("deadline noticed after %v, want < %v", elapsed, 2*timeout)
+	}
+}
+
+func TestContextDeadlineCombinesWithTimeout(t *testing.T) {
+	// The context's deadline is sooner than the budget's generous
+	// timeout; the governor must adopt the earlier of the two.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	g := Start(ctx, &Budget{Timeout: time.Hour})
+	deadline := g.deadline
+	if d, _ := ctx.Deadline(); !deadline.Equal(d) {
+		t.Fatalf("governor deadline %v, want the context's %v", deadline, d)
+	}
+}
+
+func TestTripIsSticky(t *testing.T) {
+	g := Start(context.Background(), &Budget{MaxNodes: 1})
+	first := g.Nodes(2, 0)
+	if first == nil {
+		t.Fatal("expected a trip")
+	}
+	for i := 0; i < 5; i++ {
+		if err := g.Check(); err != first {
+			t.Fatalf("Check after trip returned %v, want the original sticky error", err)
+		}
+		if err := g.Nodes(1, 0); err != first {
+			t.Fatalf("Nodes after trip returned %v, want the original sticky error", err)
+		}
+	}
+	if err := g.Err(); err != first {
+		t.Fatalf("Err() = %v, want the sticky error", err)
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	g := Start(context.Background(), nil)
+	g.Nodes(3, 100)
+	g.Memo(2, 50)
+	g.Bytes(25)
+	s := g.Stats()
+	if s.Nodes != 3 || s.MemoEntries != 2 || s.HeapBytes != 175 {
+		t.Fatalf("stats = %+v, want nodes=3 memo=2 heap=175", s)
+	}
+	if s.Elapsed <= 0 {
+		t.Fatalf("elapsed = %v, want > 0", s.Elapsed)
+	}
+	if str := s.String(); !strings.Contains(str, "nodes=3") {
+		t.Fatalf("Stats.String() = %q, want it to mention nodes=3", str)
+	}
+}
+
+func TestBudgetErrorMessages(t *testing.T) {
+	e := &BudgetError{Limit: "nodes", Stats: Stats{Nodes: 7}}
+	if msg := e.Error(); !strings.Contains(msg, "nodes") || !strings.Contains(msg, "nodes=7") {
+		t.Fatalf("message %q should name the limit and the stats", msg)
+	}
+	e = &BudgetError{Limit: "canceled", Cause: context.Canceled}
+	if msg := e.Error(); !strings.Contains(msg, "canceled") || !strings.Contains(msg, context.Canceled.Error()) {
+		t.Fatalf("message %q should carry the cause", msg)
+	}
+}

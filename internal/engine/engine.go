@@ -37,6 +37,15 @@ type Classifier interface {
 	Classify(h rules.Header) int
 }
 
+// Describer is optionally implemented by classifiers that know which
+// algorithm is live and how degraded it is (0 = best rung of a
+// degradation ladder; higher = further down). update.Manager implements
+// it; when the classifier handed to Run does, Stats carries the answer so
+// callers can tell which rung actually served the run.
+type Describer interface {
+	DescribeAlgorithm() (algorithm string, degradationLevel int)
+}
+
 // OverloadPolicy selects what the dispatcher does when the ring is full.
 type OverloadPolicy int
 
@@ -151,6 +160,12 @@ type Stats struct {
 	// back waiting for an earlier sequence number (0 when ordering is
 	// off or classification completed in order).
 	MaxReorder int
+	// Algorithm and DegradationLevel are filled when the classifier
+	// implements Describer: the algorithm that served this run and its
+	// rung on the degradation ladder (0 = best). Algorithm is empty for
+	// classifiers that don't describe themselves.
+	Algorithm        string
+	DegradationLevel int
 }
 
 // Errors is the total number of error results (shed + panicked + canceled).
@@ -240,6 +255,9 @@ func RunContext(ctx context.Context, cl Classifier, cfg Config, headers []rules.
 	}()
 
 	st := Stats{}
+	if d, ok := cl.(Describer); ok {
+		st.Algorithm, st.DegradationLevel = d.DescribeAlgorithm()
+	}
 	var emitErr error
 	emitOne := func(r Result) {
 		switch {

@@ -23,10 +23,12 @@
 package expcuts
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 
 	"repro/internal/bitstring"
+	"repro/internal/buildgov"
 	"repro/internal/memlayout"
 	"repro/internal/rules"
 )
@@ -191,6 +193,7 @@ type Tree struct {
 // builder carries construction state.
 type builder struct {
 	t    *Tree
+	gov  *buildgov.Governor
 	memo map[string]ref // global memo (ShareGlobal only)
 	sig  []byte
 	mode SharingMode
@@ -198,6 +201,15 @@ type builder struct {
 
 // New builds an ExpCuts tree over the rule set and serializes it.
 func New(rs *rules.RuleSet, cfg Config) (*Tree, error) {
+	return NewCtx(context.Background(), rs, cfg, nil)
+}
+
+// NewCtx is New under governance: the build cooperatively checks ctx and
+// charges nodes, memo entries and estimated heap bytes against budget
+// (nil budget = ctx only) in every recursion step, so a runaway build on
+// an adversarial rule set aborts in bounded time with a typed
+// *buildgov.BudgetError instead of hanging or exhausting memory.
+func NewCtx(ctx context.Context, rs *rules.RuleSet, cfg Config, budget *buildgov.Budget) (*Tree, error) {
 	if err := cfg.fillDefaults(); err != nil {
 		return nil, err
 	}
@@ -205,7 +217,7 @@ func New(rs *rules.RuleSet, cfg Config) (*Tree, error) {
 		return nil, err
 	}
 	t := &Tree{cfg: cfg, rs: rs}
-	b := &builder{t: t, mode: cfg.Sharing}
+	b := &builder{t: t, mode: cfg.Sharing, gov: buildgov.Start(ctx, budget)}
 	if b.mode == ShareGlobal {
 		b.memo = make(map[string]ref)
 	}
@@ -231,6 +243,9 @@ func New(rs *rules.RuleSet, cfg Config) (*Tree, error) {
 // map shared with its siblings only (ShareSiblings), or nil (ShareNone).
 func (b *builder) build(pos uint, box rules.Box, ruleIdx []int32, memo map[string]ref) (ref, error) {
 	t := b.t
+	if err := b.gov.Check(); err != nil {
+		return 0, err
+	}
 	// Rule overlap pruning: a rule covering the whole box shadows all
 	// lower-priority rules.
 	for k, ri := range ruleIdx {
@@ -300,13 +315,30 @@ func (b *builder) build(pos uint, box rules.Box, ruleIdx []int32, memo map[strin
 		return 0, fmt.Errorf("expcuts: node budget %d exhausted (rule set %q, w=%d, sharing %v)",
 			t.cfg.MaxNodes, t.rs.Name, w, b.mode)
 	}
+	// Charge the node (pointer array + header) and, below, its memo entry
+	// (key bytes + map slot) against the governor. A node is 2^w 4-byte
+	// refs, the dominant in-memory cost and ~what it serializes to
+	// uncompressed (see DESIGN.md on the byte estimate).
+	if err := b.gov.Nodes(1, int64(cells)*4+nodeOverheadBytes); err != nil {
+		return 0, err
+	}
 	id := ref(len(t.nodes))
 	t.nodes = append(t.nodes, n)
 	if memo != nil {
+		if err := b.gov.Memo(1, int64(len(key))+memoOverheadBytes); err != nil {
+			return 0, err
+		}
 		memo[key] = id
 	}
 	return id, nil
 }
+
+// Estimated fixed per-entry heap overheads (Go object headers, map
+// buckets) used by the governor's byte accounting.
+const (
+	nodeOverheadBytes = 48
+	memoOverheadBytes = 64
+)
 
 // signature produces the sharing key for a sub-space: the bit position plus
 // each intersecting rule's identity and box-relative clipped geometry. Two

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/buildgov"
+	"repro/internal/faultinject"
+	"repro/internal/rules"
+	"repro/internal/update"
+)
+
+// LadderRow reports one rule set's walk down the degradation ladder:
+// which rung ended up serving, how degraded that is, and what the
+// governed builders burned before the manager settled.
+type LadderRow struct {
+	Set string
+	// Rung is the serving rung's name; Level its ladder index (0 = the
+	// preferred algorithm).
+	Rung  string
+	Level int
+	// BudgetTrips is how many build attempts the budget aborted during
+	// the walk.
+	BudgetTrips uint64
+	// BuildTime is the full walk, first attempt to served generation.
+	BuildTime time.Duration
+	// MemoryBytes is the serving generation's footprint.
+	MemoryBytes int
+	// Err notes a walk that produced no generation at all (only possible
+	// when the configured ladder has no total final rung).
+	Err string
+}
+
+// Ladder builds every standard rule set — plus the two pathological
+// corpus sets, which are the reason the ladder exists — through the
+// named degradation ladder under the given budget, and reports which
+// rung served each one. A nil budget runs ungoverned (every set should
+// then serve from the preferred rung).
+func Ladder(ctx Context, names []string, budget *buildgov.Budget) ([]LadderRow, error) {
+	ctx.fillDefaults()
+	rungs, err := update.LadderFromNames(names, budget)
+	if err != nil {
+		return nil, err
+	}
+	sets, err := standardSets()
+	if err != nil {
+		return nil, err
+	}
+	sets = append(sets,
+		faultinject.OverlapGrid("overlap-grid-32", 32),
+		faultinject.WildcardStorm("wildcard-storm-500", 500, 7),
+	)
+	rows := make([]LadderRow, 0, len(sets))
+	for _, rs := range sets {
+		rows = append(rows, ladderOne(rs, rungs))
+	}
+	return rows, nil
+}
+
+func ladderOne(rs *rules.RuleSet, rungs []update.Rung) LadderRow {
+	row := LadderRow{Set: rs.Name}
+	start := time.Now()
+	m, err := update.NewManagerLadder(rs, rungs, update.Config{MaxBuildAttempts: 1})
+	row.BuildTime = time.Since(start)
+	if err != nil {
+		row.Err = err.Error()
+		return row
+	}
+	h := m.Health()
+	row.Rung = h.ActiveAlgorithm
+	row.Level = h.DegradationLevel
+	row.BudgetTrips = h.BudgetTrips
+	row.MemoryBytes = h.MemoryBytes
+	return row
+}
+
+// RenderLadder formats ladder rows in the repository's table style.
+func RenderLadder(rows []LadderRow, names []string, budget *buildgov.Budget) string {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		if r.Err != "" {
+			out = append(out, []string{r.Set, "FAILED", "-", "-", "-", r.Err})
+			continue
+		}
+		out = append(out, []string{
+			r.Set,
+			r.Rung,
+			fmt.Sprintf("%d", r.Level),
+			fmt.Sprintf("%d", r.BudgetTrips),
+			fmt.Sprintf("%v", r.BuildTime.Round(time.Millisecond)),
+			mb(r.MemoryBytes),
+		})
+	}
+	head := fmt.Sprintf("Degradation ladder %v, budget %s\n", names, describeBudget(budget))
+	return head + renderTable(
+		[]string{"Rule set", "Served by", "Level", "Budget trips", "Walk time", "MB"},
+		out)
+}
+
+func describeBudget(b *buildgov.Budget) string {
+	if b == nil {
+		return "none (ungoverned)"
+	}
+	return fmt.Sprintf("timeout=%v maxnodes=%d maxheap=%dB maxmemo=%d",
+		b.Timeout, b.MaxNodes, b.MaxHeapBytes, b.MaxMemoEntries)
+}

@@ -1,0 +1,171 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/buildgov"
+	"repro/internal/rules"
+	"repro/internal/update"
+)
+
+// This file holds the *build-time* adversaries: rule-set generators that
+// blow decision trees and cross-product tables up, and builders that
+// stall or eat memory. They exist to prove the build-governance layer —
+// a budgeted build over any of these must abort cooperatively, never
+// hang or OOM.
+
+// OverlapGrid generates a g×g grid of rules whose source/destination
+// port ranges partially overlap their neighbors and are deliberately
+// misaligned with power-of-two boundaries. Both IPs and the protocol are
+// wildcards, so no cut along those dimensions separates anything, and
+// the overlapping ranges force heavy rule replication in decision-tree
+// builders (every cut that splits a range copies the rule into both
+// children) while producing Θ(g) segments and many distinct equivalence
+// classes in cross-producting schemes. Memory and build time grow
+// super-linearly in g; g of a few dozen is enough to trip a small
+// budget. The result is deterministic in (name, g).
+func OverlapGrid(name string, g int) *rules.RuleSet {
+	if g < 1 {
+		g = 1
+	}
+	// Each range spans 1.5 steps, so range i overlaps range i+1 by half
+	// a step; the +1 offset keeps boundaries off power-of-two multiples.
+	step := 65534 / (g + 1)
+	if step < 2 {
+		step = 2
+	}
+	span := func(i int) rules.PortRange {
+		lo := i*step + 1
+		hi := lo + step + step/2
+		if hi > 65535 {
+			hi = 65535
+		}
+		return rules.PortRange{Lo: uint16(lo), Hi: uint16(hi)}
+	}
+	rs := make([]rules.Rule, 0, g*g)
+	for i := 0; i < g; i++ {
+		for j := 0; j < g; j++ {
+			rs = append(rs, rules.Rule{
+				SrcPort: span(i),
+				DstPort: span(j),
+				Proto:   rules.ProtoMatch{Wildcard: true},
+				Action:  rules.Action(uint8((i + j) % 2)),
+			})
+		}
+	}
+	return rules.NewRuleSet(name, rs)
+}
+
+// WildcardStorm generates n rules that are wildcard in all but one
+// randomly chosen field, where they carry a random point value (a /32
+// host, an exact port or an exact protocol). Almost every pair of rules
+// overlaps, so binth=1 builders (ExpCuts) must cut until single-bit
+// resolution while replicating the storm of wildcards into every child —
+// the paper's worst case for tree size. Identical (seed, n) pairs yield
+// identical sets.
+func WildcardStorm(name string, n int, seed int64) *rules.RuleSet {
+	rng := rand.New(rand.NewSource(seed))
+	rs := make([]rules.Rule, 0, n)
+	for i := 0; i < n; i++ {
+		r := rules.Rule{
+			SrcPort: rules.PortRange{Lo: 0, Hi: 65535},
+			DstPort: rules.PortRange{Lo: 0, Hi: 65535},
+			Proto:   rules.ProtoMatch{Wildcard: true},
+			Action:  rules.Action(uint8(i % 2)),
+		}
+		switch rng.Intn(5) {
+		case 0:
+			r.SrcIP = rules.Prefix{Addr: rng.Uint32(), Len: 32}
+		case 1:
+			r.DstIP = rules.Prefix{Addr: rng.Uint32(), Len: 32}
+		case 2:
+			p := uint16(rng.Intn(65536))
+			r.SrcPort = rules.PortRange{Lo: p, Hi: p}
+		case 3:
+			p := uint16(rng.Intn(65536))
+			r.DstPort = rules.PortRange{Lo: p, Hi: p}
+		case 4:
+			r.Proto = rules.ProtoMatch{Value: uint8(rng.Intn(256))}
+		}
+		rs = append(rs, r)
+	}
+	return rules.NewRuleSet(name, rs)
+}
+
+// ErrInjectedStall is the error StalledBuilder returns when its stall
+// ran to completion without being canceled.
+var ErrInjectedStall = errors.New("faultinject: injected build stall")
+
+// StalledBuilder models a build that has stopped making progress: Build
+// blocks for Stall (default: forever) or until ctx is canceled,
+// whichever comes first, and fails either way. It is ctx-cooperative —
+// exactly the contract buildgov demands of real builders — so it proves
+// the manager's BuildTimeout actually unblocks a wedged rung.
+type StalledBuilder struct {
+	// Stall bounds the block; zero blocks until ctx cancellation (tests
+	// that want a hang-unless-canceled should leave it zero and rely on
+	// the manager's BuildTimeout).
+	Stall time.Duration
+	calls atomic.Int64
+}
+
+// Build is an update.BuilderCtx.
+func (sb *StalledBuilder) Build(ctx context.Context, _ *rules.RuleSet) (update.Classifier, error) {
+	sb.calls.Add(1)
+	var expired <-chan time.Time
+	if sb.Stall > 0 {
+		t := time.NewTimer(sb.Stall)
+		defer t.Stop()
+		expired = t.C
+	}
+	select {
+	case <-ctx.Done():
+		return nil, fmt.Errorf("faultinject: stalled build canceled: %w", ctx.Err())
+	case <-expired:
+		return nil, ErrInjectedStall
+	}
+}
+
+// Calls reports how many times the builder was invoked.
+func (sb *StalledBuilder) Calls() int64 { return sb.calls.Load() }
+
+// HungryBuilder models a runaway allocator: Build charges ChunkBytes
+// per iteration against Budget through a buildgov.Governor until the
+// governor trips (byte cap, deadline or ctx cancellation), then returns
+// the governor's BudgetError — it never actually allocates. With a
+// Budget that caps nothing and no ctx deadline it gives up after
+// maxHungryChunks iterations so a misconfigured test fails instead of
+// spinning forever.
+type HungryBuilder struct {
+	// Budget is the budget charged; nil means ctx-only governance.
+	Budget *buildgov.Budget
+	// ChunkBytes is the per-iteration charge (default 1 MiB).
+	ChunkBytes int64
+	calls      atomic.Int64
+}
+
+const maxHungryChunks = 1 << 20
+
+// Build is an update.BuilderCtx.
+func (hb *HungryBuilder) Build(ctx context.Context, _ *rules.RuleSet) (update.Classifier, error) {
+	hb.calls.Add(1)
+	chunk := hb.ChunkBytes
+	if chunk <= 0 {
+		chunk = 1 << 20
+	}
+	gov := buildgov.Start(ctx, hb.Budget)
+	for i := 0; i < maxHungryChunks; i++ {
+		if err := gov.Bytes(chunk); err != nil {
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("%w: hungry build ran %d chunks without tripping any budget", ErrInjectedBuild, maxHungryChunks)
+}
+
+// Calls reports how many times the builder was invoked.
+func (hb *HungryBuilder) Calls() int64 { return hb.calls.Load() }

@@ -1,0 +1,45 @@
+package hicuts
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/buildgov"
+	"repro/internal/rules"
+)
+
+// The hard depth guard must fire independently of the cuts configuration:
+// calling the recursion directly past HardMaxDepth — as a degenerate rule
+// set that defeats every leaf condition would — returns ErrDepthExceeded
+// instead of recursing on.
+func TestHardDepthGuardFiresDirectly(t *testing.T) {
+	rs := rules.NewRuleSet("depth", []rules.Rule{{
+		SrcPort: rules.PortRange{Lo: 0, Hi: 65535},
+		DstPort: rules.PortRange{Lo: 0, Hi: 65535},
+		Proto:   rules.ProtoMatch{Wildcard: true},
+	}})
+	tr := &Tree{cfg: Config{Binth: 1}, rs: rs, gov: buildgov.Start(context.Background(), nil)}
+	_, err := tr.build(rules.FullBox(), []int{0}, HardMaxDepth+1)
+	if !errors.Is(err, ErrDepthExceeded) {
+		t.Fatalf("build at depth %d returned %v, want ErrDepthExceeded", HardMaxDepth+1, err)
+	}
+}
+
+// A depth exactly at the bound is still legal; one past it is not — the
+// guard is a ceiling on correct builds (every cut halves at least one of
+// the 104 key bits), not a tunable.
+func TestHardDepthBoundIsKeyBits(t *testing.T) {
+	if HardMaxDepth != rules.KeyBits {
+		t.Fatalf("HardMaxDepth = %d, want rules.KeyBits (%d)", HardMaxDepth, rules.KeyBits)
+	}
+	rs := rules.NewRuleSet("depth", []rules.Rule{{
+		SrcPort: rules.PortRange{Lo: 0, Hi: 65535},
+		DstPort: rules.PortRange{Lo: 0, Hi: 65535},
+		Proto:   rules.ProtoMatch{Wildcard: true},
+	}})
+	tr := &Tree{cfg: Config{Binth: 1}, rs: rs, gov: buildgov.Start(context.Background(), nil)}
+	if _, err := tr.build(rules.FullBox(), []int{0}, HardMaxDepth); err != nil {
+		t.Fatalf("build at the exact bound failed: %v (a single rule is a leaf at any depth)", err)
+	}
+}

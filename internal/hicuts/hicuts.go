@@ -19,13 +19,27 @@
 package hicuts
 
 import (
+	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math/bits"
 
+	"repro/internal/buildgov"
 	"repro/internal/memlayout"
 	"repro/internal/rules"
 )
+
+// HardMaxDepth is the recursion ceiling enforced independently of the
+// configured MaxDepth. Every cut halves at least one dimension of a box,
+// so a correct build over the 104-bit space can never recurse deeper than
+// rules.KeyBits levels; crossing this bound means a degenerate rule set
+// or configuration has defeated the leaf conditions, and the build
+// returns ErrDepthExceeded instead of growing the stack without bound.
+const HardMaxDepth = rules.KeyBits
+
+// ErrDepthExceeded reports a build that recursed past HardMaxDepth.
+var ErrDepthExceeded = errors.New("hicuts: recursion exceeded hard depth limit")
 
 // Config parameterizes tree construction.
 type Config struct {
@@ -142,6 +156,7 @@ type BuildStats struct {
 type Tree struct {
 	cfg   Config
 	rs    *rules.RuleSet
+	gov   *buildgov.Governor
 	root  *node
 	stats BuildStats
 
@@ -153,18 +168,30 @@ type Tree struct {
 
 // New builds a HiCuts tree over the rule set and serializes it.
 func New(rs *rules.RuleSet, cfg Config) (*Tree, error) {
+	return NewCtx(context.Background(), rs, cfg, nil)
+}
+
+// NewCtx is New under governance: every recursion step checks ctx and
+// charges nodes and estimated bytes against budget (nil = ctx only), so
+// an adversarial rule set aborts the build with a typed
+// *buildgov.BudgetError in bounded time instead of hanging the caller.
+func NewCtx(ctx context.Context, rs *rules.RuleSet, cfg Config, budget *buildgov.Budget) (*Tree, error) {
 	if err := cfg.fillDefaults(); err != nil {
 		return nil, err
 	}
 	if err := rs.Validate(); err != nil {
 		return nil, err
 	}
-	t := &Tree{cfg: cfg, rs: rs}
+	t := &Tree{cfg: cfg, rs: rs, gov: buildgov.Start(ctx, budget)}
 	all := make([]int, rs.Len())
 	for i := range all {
 		all[i] = i
 	}
-	t.root = t.build(rules.FullBox(), all, 0)
+	root, err := t.build(rules.FullBox(), all, 0)
+	if err != nil {
+		return nil, err
+	}
+	t.root = root
 	t.collectStats()
 	if err := t.serialize(); err != nil {
 		return nil, err
@@ -175,7 +202,13 @@ func New(rs *rules.RuleSet, cfg Config) (*Tree, error) {
 
 // build recursively constructs the subtree for box holding ruleIdx (in
 // priority order, all intersecting box).
-func (t *Tree) build(box rules.Box, ruleIdx []int, depth int) *node {
+func (t *Tree) build(box rules.Box, ruleIdx []int, depth int) (*node, error) {
+	if depth > HardMaxDepth {
+		return nil, fmt.Errorf("%w: depth %d on rule set %q", ErrDepthExceeded, depth, t.rs.Name)
+	}
+	if err := t.gov.Check(); err != nil {
+		return nil, err
+	}
 	if t.cfg.PruneCovered {
 		// Rule overlap elimination: once a rule fully covers the node's
 		// box, no lower-priority rule can ever win inside it, so the
@@ -188,13 +221,13 @@ func (t *Tree) build(box rules.Box, ruleIdx []int, depth int) *node {
 		}
 	}
 	if len(ruleIdx) <= t.cfg.Binth || depth >= t.cfg.MaxDepth {
-		return &node{leaf: true, ruleIdx: ruleIdx, depth: depth}
+		return t.leaf(ruleIdx, depth)
 	}
 	dim, ok := t.chooseDim(box, ruleIdx)
 	if !ok {
 		// No dimension separates the rules (identical projections
 		// everywhere): linear search is all that is left.
-		return &node{leaf: true, ruleIdx: ruleIdx, depth: depth}
+		return t.leaf(ruleIdx, depth)
 	}
 	log2nc := t.chooseCuts(box, ruleIdx, dim)
 	nc := 1 << log2nc
@@ -213,6 +246,11 @@ func (t *Tree) build(box rules.Box, ruleIdx []int, depth int) *node {
 
 	n := &node{depth: depth, dim: dim, log2cw: log2cw, log2nc: log2nc,
 		children: make([]*node, nc)}
+	// Charge the internal node: child pointer array plus the rule-index
+	// slices held by the distribution above.
+	if err := t.gov.Nodes(1, int64(nc)*8+int64(len(ruleIdx))*8+nodeOverheadBytes); err != nil {
+		return nil, err
+	}
 	// Aggregate siblings with identical cell-relative rule geometry.
 	shared := make(map[string]*node)
 	var sig []byte
@@ -234,12 +272,27 @@ func (t *Tree) build(box rules.Box, ruleIdx []int, depth int) *node {
 			n.children[c] = child
 			continue
 		}
-		child := t.build(cellBox, cells[c], depth+1)
+		child, err := t.build(cellBox, cells[c], depth+1)
+		if err != nil {
+			return nil, err
+		}
 		shared[key] = child
 		n.children[c] = child
 	}
-	return n
+	return n, nil
 }
+
+// leaf builds a leaf node, charging it against the governor.
+func (t *Tree) leaf(ruleIdx []int, depth int) (*node, error) {
+	if err := t.gov.Nodes(1, int64(len(ruleIdx))*8+nodeOverheadBytes); err != nil {
+		return nil, err
+	}
+	return &node{leaf: true, ruleIdx: ruleIdx, depth: depth}, nil
+}
+
+// nodeOverheadBytes estimates the fixed per-node heap overhead charged to
+// the governor alongside the variable-size arrays.
+const nodeOverheadBytes = 96
 
 // chooseDim picks the dimension with the most distinct clipped rule
 // projections (ties broken toward the wider box span), the standard HiCuts

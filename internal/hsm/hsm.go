@@ -17,10 +17,12 @@
 package hsm
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"repro/internal/bitset"
+	"repro/internal/buildgov"
 	"repro/internal/memlayout"
 	"repro/internal/rules"
 )
@@ -99,6 +101,7 @@ type BuildStats struct {
 type Classifier struct {
 	cfg                                 Config
 	rs                                  *rules.RuleSet
+	gov                                 *buildgov.Governor
 	dims                                [rules.NumDims]dimTable
 	tabIP, tabPort, tabIPPort, tabFinal pairTable
 	stats                               BuildStats
@@ -109,13 +112,22 @@ type Classifier struct {
 
 // New builds the HSM structures and their serialized image.
 func New(rs *rules.RuleSet, cfg Config) (*Classifier, error) {
+	return NewCtx(context.Background(), rs, cfg, nil)
+}
+
+// NewCtx is New under governance: the segment sweeps and cross-producting
+// loops cooperatively check ctx and charge rows / estimated table bytes
+// against budget (nil = ctx only). Cross-product tables are charged
+// *before* allocation, so an absurd table is refused without ever being
+// held in memory.
+func NewCtx(ctx context.Context, rs *rules.RuleSet, cfg Config, budget *buildgov.Budget) (*Classifier, error) {
 	if err := cfg.fillDefaults(); err != nil {
 		return nil, err
 	}
 	if err := rs.Validate(); err != nil {
 		return nil, err
 	}
-	c := &Classifier{cfg: cfg, rs: rs}
+	c := &Classifier{cfg: cfg, rs: rs, gov: buildgov.Start(ctx, budget)}
 
 	// Phase 0: per-dimension segments and classes.
 	n := rs.Len()
@@ -127,6 +139,11 @@ func New(rs *rules.RuleSet, cfg Config) (*Classifier, error) {
 		}
 		in := bitset.NewInterner()
 		for i, seg := range segs {
+			// Each segment costs an O(rules) sweep plus its class
+			// bitset: one governed row.
+			if err := c.gov.Nodes(1, int64(n/8)+16); err != nil {
+				return nil, err
+			}
 			dt.segLo[i] = seg.Lo
 			bs := bitset.New(n)
 			for ri := range rs.Rules {
@@ -176,14 +193,30 @@ func (c *Classifier) cross(a, b []bitset.Set) (pairTable, []bitset.Set, error) {
 		return pairTable{}, nil, fmt.Errorf("hsm: cross-product table %d×%d exceeds cap %d entries",
 			len(a), len(b), c.cfg.MaxTableEntries)
 	}
+	// Charge the table before allocating it.
+	if err := c.gov.Bytes(int64(len(a)) * int64(len(b)) * 4); err != nil {
+		return pairTable{}, nil, err
+	}
 	tab := pairTable{nA: len(a), nB: len(b), data: make([]uint32, len(a)*len(b))}
 	in := bitset.NewInterner()
 	scratch := bitset.New(c.rs.Len())
 	for i, bsA := range a {
+		if err := c.gov.Nodes(1, 0); err != nil {
+			return pairTable{}, nil, err
+		}
 		for j, bsB := range b {
+			// Per-cell poll keeps deadline overshoot at cell granularity
+			// even when rows are tens of thousands of cells wide.
+			if err := c.gov.Check(); err != nil {
+				return pairTable{}, nil, err
+			}
 			bitset.AndInto(scratch, bsA, bsB)
 			tab.data[i*tab.nB+j] = in.Intern(scratch)
 		}
+	}
+	// Interned intersection classes are this phase's memo table.
+	if err := c.gov.Memo(in.Len(), int64(in.Len())*int64(c.rs.Len()/8+16)); err != nil {
+		return pairTable{}, nil, err
 	}
 	classes := make([]bitset.Set, in.Len())
 	for id := range classes {
@@ -199,10 +232,19 @@ func (c *Classifier) crossFinal(a, b []bitset.Set) (pairTable, error) {
 		return pairTable{}, fmt.Errorf("hsm: final table %d×%d exceeds cap %d entries",
 			len(a), len(b), c.cfg.MaxTableEntries)
 	}
+	if err := c.gov.Bytes(int64(len(a)) * int64(len(b)) * 4); err != nil {
+		return pairTable{}, err
+	}
 	tab := pairTable{nA: len(a), nB: len(b), data: make([]uint32, len(a)*len(b))}
 	scratch := bitset.New(c.rs.Len())
 	for i, bsA := range a {
+		if err := c.gov.Nodes(1, 0); err != nil {
+			return pairTable{}, err
+		}
 		for j, bsB := range b {
+			if err := c.gov.Check(); err != nil {
+				return pairTable{}, err
+			}
 			bitset.AndInto(scratch, bsA, bsB)
 			tab.data[i*tab.nB+j] = uint32(scratch.First() + 1)
 		}

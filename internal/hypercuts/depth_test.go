@@ -1,0 +1,25 @@
+package hypercuts
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/buildgov"
+	"repro/internal/rules"
+)
+
+// Same contract as hicuts: the recursion refuses to grow past the
+// 104-bit ceiling regardless of configuration.
+func TestHardDepthGuardFiresDirectly(t *testing.T) {
+	rs := rules.NewRuleSet("depth", []rules.Rule{{
+		SrcPort: rules.PortRange{Lo: 0, Hi: 65535},
+		DstPort: rules.PortRange{Lo: 0, Hi: 65535},
+		Proto:   rules.ProtoMatch{Wildcard: true},
+	}})
+	tr := &Tree{cfg: Config{Binth: 1}, rs: rs, gov: buildgov.Start(context.Background(), nil)}
+	_, err := tr.build(rules.FullBox(), []int{0}, HardMaxDepth+1)
+	if !errors.Is(err, ErrDepthExceeded) {
+		t.Fatalf("build at depth %d returned %v, want ErrDepthExceeded", HardMaxDepth+1, err)
+	}
+}

@@ -14,13 +14,23 @@
 package hypercuts
 
 import (
+	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math/bits"
 
+	"repro/internal/buildgov"
 	"repro/internal/memlayout"
 	"repro/internal/rules"
 )
+
+// HardMaxDepth mirrors hicuts.HardMaxDepth: every cut halves at least one
+// dimension, so no correct build recurses past rules.KeyBits levels.
+const HardMaxDepth = rules.KeyBits
+
+// ErrDepthExceeded reports a build that recursed past HardMaxDepth.
+var ErrDepthExceeded = errors.New("hypercuts: recursion exceeded hard depth limit")
 
 // MaxCutDims is the number of dimensions one node may cut simultaneously.
 const MaxCutDims = 2
@@ -143,6 +153,7 @@ type BuildStats struct {
 type Tree struct {
 	cfg   Config
 	rs    *rules.RuleSet
+	gov   *buildgov.Governor
 	root  *node
 	stats BuildStats
 
@@ -154,18 +165,30 @@ type Tree struct {
 
 // New builds a HyperCuts tree over the rule set and serializes it.
 func New(rs *rules.RuleSet, cfg Config) (*Tree, error) {
+	return NewCtx(context.Background(), rs, cfg, nil)
+}
+
+// NewCtx is New under governance: every recursion step checks ctx and
+// charges nodes and estimated bytes against budget (nil = ctx only), so
+// an adversarial rule set aborts the build with a typed
+// *buildgov.BudgetError in bounded time.
+func NewCtx(ctx context.Context, rs *rules.RuleSet, cfg Config, budget *buildgov.Budget) (*Tree, error) {
 	if err := cfg.fillDefaults(); err != nil {
 		return nil, err
 	}
 	if err := rs.Validate(); err != nil {
 		return nil, err
 	}
-	t := &Tree{cfg: cfg, rs: rs}
+	t := &Tree{cfg: cfg, rs: rs, gov: buildgov.Start(ctx, budget)}
 	all := make([]int, rs.Len())
 	for i := range all {
 		all[i] = i
 	}
-	t.root = t.build(rules.FullBox(), all, 0)
+	root, err := t.build(rules.FullBox(), all, 0)
+	if err != nil {
+		return nil, err
+	}
+	t.root = root
 	t.collectStats()
 	if err := t.serialize(); err != nil {
 		return nil, err
@@ -174,7 +197,13 @@ func New(rs *rules.RuleSet, cfg Config) (*Tree, error) {
 	return t, nil
 }
 
-func (t *Tree) build(box rules.Box, ruleIdx []int, depth int) *node {
+func (t *Tree) build(box rules.Box, ruleIdx []int, depth int) (*node, error) {
+	if depth > HardMaxDepth {
+		return nil, fmt.Errorf("%w: depth %d on rule set %q", ErrDepthExceeded, depth, t.rs.Name)
+	}
+	if err := t.gov.Check(); err != nil {
+		return nil, err
+	}
 	if *t.cfg.PruneCovered {
 		for k, ri := range ruleIdx {
 			if t.rs.Rules[ri].Box().Covers(box) {
@@ -184,16 +213,19 @@ func (t *Tree) build(box rules.Box, ruleIdx []int, depth int) *node {
 		}
 	}
 	if len(ruleIdx) <= t.cfg.Binth || depth >= t.cfg.MaxDepth {
-		return &node{leaf: true, ruleIdx: ruleIdx, depth: depth}
+		return t.leaf(ruleIdx, depth)
 	}
 	cuts := t.chooseCuts(box, ruleIdx)
 	if len(cuts) == 0 {
-		return &node{leaf: true, ruleIdx: ruleIdx, depth: depth}
+		return t.leaf(ruleIdx, depth)
 	}
 
 	n := &node{depth: depth, cuts: cuts}
 	total := n.cells()
 	n.children = make([]*node, total)
+	if err := t.gov.Nodes(1, int64(total)*8+int64(len(ruleIdx))*8+nodeOverheadBytes); err != nil {
+		return nil, err
+	}
 
 	// Distribute rules: for each rule compute the per-dimension cell
 	// ranges and enumerate their cross product.
@@ -227,12 +259,27 @@ func (t *Tree) build(box rules.Box, ruleIdx []int, depth int) *node {
 			n.children[cell] = child
 			continue
 		}
-		child := t.build(cellBox, cellsRules[cell], depth+1)
+		child, err := t.build(cellBox, cellsRules[cell], depth+1)
+		if err != nil {
+			return nil, err
+		}
 		shared[key] = child
 		n.children[cell] = child
 	}
-	return n
+	return n, nil
 }
+
+// leaf builds a leaf node, charging it against the governor.
+func (t *Tree) leaf(ruleIdx []int, depth int) (*node, error) {
+	if err := t.gov.Nodes(1, int64(len(ruleIdx))*8+nodeOverheadBytes); err != nil {
+		return nil, err
+	}
+	return &node{leaf: true, ruleIdx: ruleIdx, depth: depth}, nil
+}
+
+// nodeOverheadBytes estimates the fixed per-node heap overhead charged to
+// the governor alongside the variable-size arrays.
+const nodeOverheadBytes = 96
 
 // cellBox returns the box of the linear cell index.
 func (t *Tree) cellBox(box rules.Box, cuts []cutSpec, cell int) rules.Box {

@@ -108,12 +108,26 @@ func (c *AppConfig) fillDefaults() error {
 	return nil
 }
 
+// MaxProgramSteps bounds a single access program. A healthy serialized
+// classifier issues at most a few hundred SRAM commands per lookup
+// (ExpCuts' whole point is a fixed small bound); a program beyond this is
+// the product of a corrupted image or a degenerate build that escaped its
+// budget, and simulating it would burn unbounded simulator time. The
+// bound mirrors buildgov's philosophy: refuse absurd resource consumption
+// up front with a typed error instead of discovering it by hanging.
+const MaxProgramSteps = 1 << 16
+
 // ValidatePrograms rejects access programs the simulator cannot safely
 // run: a step targeting a channel the machine does not have would
 // otherwise surface as an index panic deep inside the discrete-event
-// core. Both Run entry points call this before simulating.
+// core, and a program longer than MaxProgramSteps would stall the
+// simulation itself. Both Run entry points call this before simulating.
 func ValidatePrograms(programs []nptrace.Program) error {
 	for i := range programs {
+		if n := len(programs[i].Steps); n > MaxProgramSteps {
+			return fmt.Errorf("pipeline: program %d has %d steps (cap %d); refusing to simulate a degenerate access program",
+				i, n, MaxProgramSteps)
+		}
 		for j, s := range programs[i].Steps {
 			if int(s.Channel) >= memlayout.NumChannels {
 				return fmt.Errorf("pipeline: program %d step %d targets SRAM channel %d (machine has %d)",

@@ -132,3 +132,17 @@ func TestConfigValidation(t *testing.T) {
 		t.Error("negative MEs should be rejected")
 	}
 }
+
+func TestValidateProgramsRefusesDegenerateLength(t *testing.T) {
+	ok := nptrace.Program{Steps: make([]nptrace.Step, 64)}
+	if err := ValidatePrograms([]nptrace.Program{ok}); err != nil {
+		t.Fatalf("64-step program rejected: %v", err)
+	}
+	huge := nptrace.Program{Steps: make([]nptrace.Step, MaxProgramSteps+1)}
+	if err := ValidatePrograms([]nptrace.Program{ok, huge}); err == nil {
+		t.Fatal("a program past MaxProgramSteps must be refused before simulation")
+	}
+	if _, err := RunMultiprocessing(DefaultAppConfig(), []nptrace.Program{huge}, 10); err == nil {
+		t.Fatal("RunMultiprocessing must refuse degenerate programs")
+	}
+}

@@ -18,9 +18,11 @@
 package rfc
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bitset"
+	"repro/internal/buildgov"
 	"repro/internal/memlayout"
 	"repro/internal/nptrace"
 	"repro/internal/rules"
@@ -129,6 +131,7 @@ type BuildStats struct {
 type Classifier struct {
 	cfg   Config
 	rs    *rules.RuleSet
+	gov   *buildgov.Governor
 	stats BuildStats
 
 	chunkTab [numChunks][]uint32 // value -> class ID
@@ -157,13 +160,20 @@ type place struct {
 
 // New builds the RFC tables and their serialized image.
 func New(rs *rules.RuleSet, cfg Config) (*Classifier, error) {
+	return NewCtx(context.Background(), rs, cfg, nil)
+}
+
+// NewCtx is New under governance: phase-0 sweeps and every combine-table
+// row cooperatively check ctx and charge estimated bytes against budget
+// (nil = ctx only); combine tables are charged before allocation.
+func NewCtx(ctx context.Context, rs *rules.RuleSet, cfg Config, budget *buildgov.Budget) (*Classifier, error) {
 	if err := cfg.fillDefaults(); err != nil {
 		return nil, err
 	}
 	if err := rs.Validate(); err != nil {
 		return nil, err
 	}
-	c := &Classifier{cfg: cfg, rs: rs}
+	c := &Classifier{cfg: cfg, rs: rs, gov: buildgov.Start(ctx, budget)}
 	n := rs.Len()
 
 	// Phase 0: per-chunk equivalence classes via segment sweep, then a
@@ -171,6 +181,9 @@ func New(rs *rules.RuleSet, cfg Config) (*Classifier, error) {
 	classes := make([][]bitset.Set, numChunks)
 	for ch := 0; ch < numChunks; ch++ {
 		domain := 1 << chunkBits[ch]
+		if err := c.gov.Bytes(int64(domain) * 4); err != nil {
+			return nil, err
+		}
 		// Boundaries where the matching-rule set can change.
 		starts := map[uint32]bool{0: true}
 		for ri := range rs.Rules {
@@ -185,6 +198,11 @@ func New(rs *rules.RuleSet, cfg Config) (*Classifier, error) {
 		var cur uint32
 		for v := 0; v < domain; v++ {
 			if starts[uint32(v)] {
+				// One governed row per segment boundary: each costs
+				// an O(rules) sweep plus an interned class bitset.
+				if err := c.gov.Nodes(1, int64(n/8)+16); err != nil {
+					return nil, err
+				}
 				bs := bitset.New(n)
 				for ri := range rs.Rules {
 					if chunkSpan(&rs.Rules[ri], ch).Contains(uint32(v)) {
@@ -235,14 +253,28 @@ func (c *Classifier) cross(a, b []bitset.Set) (pairTable, []bitset.Set, error) {
 	if len(a)*len(b) > c.cfg.MaxTableEntries {
 		return pairTable{}, nil, fmt.Errorf("rfc: table %d×%d exceeds cap %d", len(a), len(b), c.cfg.MaxTableEntries)
 	}
+	if err := c.gov.Bytes(int64(len(a)) * int64(len(b)) * 4); err != nil {
+		return pairTable{}, nil, err
+	}
 	tab := pairTable{nB: len(b), data: make([]uint32, len(a)*len(b))}
 	in := bitset.NewInterner()
 	scratch := bitset.New(c.rs.Len())
 	for i, bsA := range a {
+		if err := c.gov.Nodes(1, 0); err != nil {
+			return pairTable{}, nil, err
+		}
 		for j, bsB := range b {
+			// Per-cell poll keeps deadline overshoot at cell granularity
+			// even when rows are tens of thousands of cells wide.
+			if err := c.gov.Check(); err != nil {
+				return pairTable{}, nil, err
+			}
 			bitset.AndInto(scratch, bsA, bsB)
 			tab.data[i*tab.nB+j] = in.Intern(scratch)
 		}
+	}
+	if err := c.gov.Memo(in.Len(), int64(in.Len())*int64(c.rs.Len()/8+16)); err != nil {
+		return pairTable{}, nil, err
 	}
 	out := make([]bitset.Set, in.Len())
 	for id := range out {
@@ -255,10 +287,19 @@ func (c *Classifier) crossFinal(a, b []bitset.Set) (pairTable, error) {
 	if len(a)*len(b) > c.cfg.MaxTableEntries {
 		return pairTable{}, fmt.Errorf("rfc: final table %d×%d exceeds cap %d", len(a), len(b), c.cfg.MaxTableEntries)
 	}
+	if err := c.gov.Bytes(int64(len(a)) * int64(len(b)) * 4); err != nil {
+		return pairTable{}, err
+	}
 	tab := pairTable{nB: len(b), data: make([]uint32, len(a)*len(b))}
 	scratch := bitset.New(c.rs.Len())
 	for i, bsA := range a {
+		if err := c.gov.Nodes(1, 0); err != nil {
+			return pairTable{}, err
+		}
 		for j, bsB := range b {
+			if err := c.gov.Check(); err != nil {
+				return pairTable{}, err
+			}
 			bitset.AndInto(scratch, bsA, bsB)
 			tab.data[i*tab.nB+j] = uint32(scratch.First() + 1)
 		}

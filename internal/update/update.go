@@ -19,11 +19,14 @@
 package update
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/buildgov"
 	"repro/internal/pktgen"
 	"repro/internal/rules"
 )
@@ -37,6 +40,24 @@ type Classifier interface {
 // Builder constructs a classifier generation from a rule set (e.g. wrap
 // expcuts.New with its Config applied).
 type Builder func(rs *rules.RuleSet) (Classifier, error)
+
+// BuilderCtx is a context-aware Builder: the manager passes a context
+// carrying the per-attempt build deadline (Config.BuildTimeout), and
+// governed builders (expcuts.NewCtx and friends) abort cooperatively
+// when it expires. Ladder rungs use this form.
+type BuilderCtx func(ctx context.Context, rs *rules.RuleSet) (Classifier, error)
+
+// Rung is one level of a degradation ladder: a named, context-aware
+// builder. Rungs are ordered best-first; the manager serves the highest
+// rung whose build succeeds, validates, and whose circuit breaker is not
+// open.
+type Rung struct {
+	// Name identifies the rung in Health and reports ("expcuts",
+	// "linear", ...).
+	Name string
+	// Build constructs the rung's classifier.
+	Build BuilderCtx
+}
 
 // Op is one rule-set modification.
 type Op struct {
@@ -76,6 +97,19 @@ type Config struct {
 	BackoffBase time.Duration
 	// BackoffMax caps the backoff; 0 means DefaultBackoffMax.
 	BackoffMax time.Duration
+	// BuildTimeout bounds each build attempt: the builder's context
+	// carries this deadline, and governed builders abort cooperatively
+	// when it expires. 0 means no per-attempt deadline.
+	BuildTimeout time.Duration
+	// BreakerThreshold is how many consecutive failures (budget trips,
+	// build errors or validation rejections) open a rung's circuit
+	// breaker; 0 means DefaultBreakerThreshold, negative disables the
+	// breakers entirely.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker blocks its rung
+	// before half-opening for one probe build; 0 means
+	// DefaultBreakerCooldown.
+	BreakerCooldown time.Duration
 }
 
 // Guard-rail defaults.
@@ -84,6 +118,8 @@ const (
 	DefaultMaxBuildAttempts = 3
 	DefaultBackoffBase      = 5 * time.Millisecond
 	DefaultBackoffMax       = 250 * time.Millisecond
+	DefaultBreakerThreshold = 3
+	DefaultBreakerCooldown  = 30 * time.Second
 )
 
 func (c *Config) fillDefaults() {
@@ -101,6 +137,12 @@ func (c *Config) fillDefaults() {
 	}
 	if c.BackoffMax <= 0 {
 		c.BackoffMax = DefaultBackoffMax
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = DefaultBreakerThreshold
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = DefaultBreakerCooldown
 	}
 }
 
@@ -125,38 +167,110 @@ type Health struct {
 	FailedValidations uint64
 	// Rollbacks counts successful Rollback calls.
 	Rollbacks uint64
+	// ActiveAlgorithm names the rung (or builder-reported algorithm)
+	// serving the live generation.
+	ActiveAlgorithm string
+	// DegradationLevel is the live generation's ladder rung index: 0 is
+	// the preferred builder, higher values mean the manager has fallen
+	// further down the ladder. Always 0 for single-builder managers.
+	DegradationLevel int
+	// BudgetTrips counts build attempts aborted by a buildgov budget
+	// (wall-clock, node, heap or memo limit).
+	BudgetTrips uint64
+	// Breakers reports each ladder rung's circuit breaker, in rung
+	// order. Empty for single-builder managers.
+	Breakers []BreakerStatus
 	// LastError describes the most recent failed Apply/Rollback, empty
 	// when the last operation succeeded.
 	LastError string
 }
 
+// BreakerStatus is one rung's circuit-breaker snapshot.
+type BreakerStatus struct {
+	// Rung is the rung name.
+	Rung string
+	// State is "closed", "open" or "half-open".
+	State string
+	// ConsecutiveFailures is the current failure streak (reset on any
+	// success).
+	ConsecutiveFailures int
+}
+
+// breaker is the per-rung circuit breaker. A rung that keeps failing
+// (budget trips, build errors, validation rejections) opens after
+// BreakerThreshold consecutive failures; while open, rebuilds skip the
+// rung so the ladder falls through immediately instead of re-paying a
+// doomed build. After BreakerCooldown the breaker half-opens: the next
+// rebuild may probe the rung once, and a success closes it again.
+type breaker struct {
+	fails     int       // consecutive failures
+	openUntil time.Time // zero when closed
+}
+
+func (b *breaker) allowed(now time.Time, threshold int) bool {
+	if threshold < 0 || b.fails < threshold {
+		return true
+	}
+	return !now.Before(b.openUntil) // half-open probe
+}
+
+func (b *breaker) fail(now time.Time, threshold int, cooldown time.Duration) {
+	b.fails++
+	if threshold >= 0 && b.fails >= threshold {
+		b.openUntil = now.Add(cooldown)
+	}
+}
+
+func (b *breaker) success() {
+	b.fails = 0
+	b.openUntil = time.Time{}
+}
+
+func (b *breaker) state(now time.Time, threshold int) string {
+	switch {
+	case threshold < 0 || b.fails < threshold:
+		return "closed"
+	case now.Before(b.openUntil):
+		return "open"
+	default:
+		return "half-open"
+	}
+}
+
 // Manager owns the authoritative rule list and the live classifier
 // generation. Classify is wait-free with respect to updates.
 type Manager struct {
-	build Builder
-	cfg   Config
-	sleep func(time.Duration) // time.Sleep, overridable in tests
+	build  Builder // legacy single-builder path; nil when ladder is set
+	ladder []Rung  // degradation ladder, best rung first; nil for legacy
+	cfg    Config
+	sleep  func(time.Duration) // time.Sleep, overridable in tests
+	now    func() time.Time    // time.Now, overridable in tests
 
-	mu    sync.Mutex // serializes updates, not lookups
-	name  string
-	rules []rules.Rule
-	gen   uint64
-	prev  *generation // retained for Rollback; nil initially
+	mu       sync.Mutex // serializes updates, not lookups
+	name     string
+	rules    []rules.Rule
+	gen      uint64
+	prev     *generation // retained for Rollback; nil initially
+	breakers []breaker   // one per ladder rung
 
 	buildRetries      atomic.Uint64
 	failedBuilds      atomic.Uint64
 	failedValidations atomic.Uint64
 	rollbacks         atomic.Uint64
+	budgetTrips       atomic.Uint64
 	lastError         atomic.Pointer[string]
 
 	live atomic.Pointer[generation]
 }
 
-// generation pairs a classifier with the rule snapshot it was built from.
+// generation pairs a classifier with the rule snapshot it was built from,
+// plus the ladder position that produced it.
 type generation struct {
 	cl    Classifier
 	rules []rules.Rule
 	gen   uint64
+	algo  string
+	rung  int
 }
 
 // NewManager builds the initial generation from the rule set with the
@@ -172,9 +286,46 @@ func NewManagerConfig(rs *rules.RuleSet, build Builder, cfg Config) (*Manager, e
 		build: build,
 		cfg:   cfg,
 		sleep: time.Sleep,
+		now:   time.Now,
 		name:  rs.Name,
 		rules: append([]rules.Rule(nil), rs.Rules...),
 	}
+	m.breakers = make([]breaker, 1)
+	if err := m.rebuildLocked(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// NewManagerLadder builds the initial generation through a degradation
+// ladder: rungs are tried best-first, each guarded by its own circuit
+// breaker, and the first rung that builds within budget and validates
+// against the linear oracle serves. As long as the final rung is total
+// (DefaultLadder ends on linear search, which cannot fail), a servable
+// generation is always produced no matter how hostile the rule set is to
+// the preferred builders.
+func NewManagerLadder(rs *rules.RuleSet, ladder []Rung, cfg Config) (*Manager, error) {
+	if len(ladder) == 0 {
+		return nil, fmt.Errorf("update: ladder must have at least one rung")
+	}
+	for i, r := range ladder {
+		if r.Build == nil {
+			return nil, fmt.Errorf("update: ladder rung %d (%q) has a nil builder", i, r.Name)
+		}
+		if r.Name == "" {
+			ladder[i].Name = fmt.Sprintf("rung%d", i)
+		}
+	}
+	cfg.fillDefaults()
+	m := &Manager{
+		ladder: ladder,
+		cfg:    cfg,
+		sleep:  time.Sleep,
+		now:    time.Now,
+		name:   rs.Name,
+		rules:  append([]rules.Rule(nil), rs.Rules...),
+	}
+	m.breakers = make([]breaker, len(ladder))
 	if err := m.rebuildLocked(); err != nil {
 		return nil, err
 	}
@@ -210,6 +361,18 @@ func (m *Manager) MemoryBytes() int {
 func (m *Manager) Health() Health {
 	m.mu.Lock()
 	canRollback := m.prev != nil
+	var breakers []BreakerStatus
+	if len(m.ladder) > 0 {
+		now := m.now()
+		breakers = make([]BreakerStatus, len(m.ladder))
+		for i := range m.ladder {
+			breakers[i] = BreakerStatus{
+				Rung:                m.ladder[i].Name,
+				State:               m.breakers[i].state(now, m.cfg.BreakerThreshold),
+				ConsecutiveFailures: m.breakers[i].fails,
+			}
+		}
+	}
 	m.mu.Unlock()
 	g := m.live.Load()
 	h := Health{
@@ -221,11 +384,24 @@ func (m *Manager) Health() Health {
 		FailedBuilds:      m.failedBuilds.Load(),
 		FailedValidations: m.failedValidations.Load(),
 		Rollbacks:         m.rollbacks.Load(),
+		ActiveAlgorithm:   g.algo,
+		DegradationLevel:  g.rung,
+		BudgetTrips:       m.budgetTrips.Load(),
+		Breakers:          breakers,
 	}
 	if s := m.lastError.Load(); s != nil {
 		h.LastError = *s
 	}
 	return h
+}
+
+// DescribeAlgorithm reports the live generation's algorithm name and
+// degradation level (ladder rung index; 0 = preferred). It satisfies the
+// engine's Describer interface so engine.Stats can attribute each run to
+// the rung that served it.
+func (m *Manager) DescribeAlgorithm() (algo string, degradation int) {
+	g := m.live.Load()
+	return g.algo, g.rung
 }
 
 // Apply validates and applies a batch of ops atomically: either the whole
@@ -284,37 +460,90 @@ func (m *Manager) Rollback() error {
 	m.prev = m.live.Load()
 	m.rules = append([]rules.Rule(nil), target.rules...)
 	m.gen++
-	m.live.Store(&generation{cl: target.cl, rules: target.rules, gen: m.gen})
+	m.live.Store(&generation{cl: target.cl, rules: target.rules, gen: m.gen,
+		algo: target.algo, rung: target.rung})
 	m.rollbacks.Add(1)
 	m.clearError()
 	return nil
 }
 
 // rebuildLocked builds, validates and publishes a new generation from
-// m.rules, retaining the outgoing generation for Rollback.
+// m.rules, retaining the outgoing generation for Rollback. With a ladder
+// it walks the rungs best-first, skipping rungs whose breaker is open
+// (the final rung is always attempted if nothing else was, so a fully
+// tripped ladder still reaches its total fallback); the first rung that
+// builds and validates serves, and its breaker closes.
 func (m *Manager) rebuildLocked() error {
 	snapshot := append([]rules.Rule(nil), m.rules...)
 	rs := rules.NewRuleSet(fmt.Sprintf("%s@%d", m.name, m.gen+1), snapshot)
-	cl, err := m.buildWithRetry(rs)
-	if err != nil {
-		m.failedBuilds.Add(1)
-		return err
+	ladder := m.ladder
+	if ladder == nil {
+		// Legacy single-builder path, wrapped lazily so tests swapping
+		// m.build keep working. The empty name makes publish derive the
+		// algorithm from the classifier itself.
+		build := m.build
+		ladder = []Rung{{Build: func(_ context.Context, rs *rules.RuleSet) (Classifier, error) {
+			return build(rs)
+		}}}
 	}
-	if err := m.validate(cl, rs); err != nil {
-		m.failedValidations.Add(1)
-		return err
+	now := m.now()
+	var failures []error
+	for i := range ladder {
+		// The final rung is always attempted: a servable generation
+		// beats breaker hygiene, and DefaultLadder ends on linear
+		// search, which cannot fail.
+		if i != len(ladder)-1 && !m.breakers[i].allowed(now, m.cfg.BreakerThreshold) {
+			failures = append(failures, fmt.Errorf("%s: breaker open", rungName(ladder, i)))
+			continue
+		}
+		cl, err := m.buildRungWithRetry(ladder[i], rs)
+		if err != nil {
+			m.failedBuilds.Add(1)
+			if errors.Is(err, buildgov.ErrBudgetExceeded) {
+				m.budgetTrips.Add(1)
+			}
+			m.breakers[i].fail(now, m.cfg.BreakerThreshold, m.cfg.BreakerCooldown)
+			failures = append(failures, fmt.Errorf("%s: %w", rungName(ladder, i), err))
+			continue
+		}
+		if err := m.validate(cl, rs); err != nil {
+			m.failedValidations.Add(1)
+			m.breakers[i].fail(now, m.cfg.BreakerThreshold, m.cfg.BreakerCooldown)
+			failures = append(failures, fmt.Errorf("%s: %w", rungName(ladder, i), err))
+			continue
+		}
+		m.breakers[i].success()
+		algo := ladder[i].Name
+		if algo == "" {
+			if n, ok := cl.(interface{ Name() string }); ok {
+				algo = n.Name()
+			} else {
+				algo = "custom"
+			}
+		}
+		m.gen++
+		if cur := m.live.Load(); cur != nil {
+			m.prev = cur
+		}
+		m.live.Store(&generation{cl: cl, rules: snapshot, gen: m.gen, algo: algo, rung: i})
+		return nil
 	}
-	m.gen++
-	if cur := m.live.Load(); cur != nil {
-		m.prev = cur
-	}
-	m.live.Store(&generation{cl: cl, rules: snapshot, gen: m.gen})
-	return nil
+	return fmt.Errorf("update: every ladder rung failed: %w", errors.Join(failures...))
 }
 
-// buildWithRetry drives the builder through up to MaxBuildAttempts tries
-// with capped exponential backoff between them.
-func (m *Manager) buildWithRetry(rs *rules.RuleSet) (Classifier, error) {
+func rungName(ladder []Rung, i int) string {
+	if ladder[i].Name != "" {
+		return ladder[i].Name
+	}
+	return fmt.Sprintf("rung%d", i)
+}
+
+// buildRungWithRetry drives one rung's builder through up to
+// MaxBuildAttempts tries with capped exponential backoff. Budget trips
+// are not retried: a governed build that exceeded its budget is
+// deterministic, so the retry would pay the whole budget again just to
+// fail identically — the ladder falls through instead.
+func (m *Manager) buildRungWithRetry(rung Rung, rs *rules.RuleSet) (Classifier, error) {
 	backoff := m.cfg.BackoffBase
 	var lastErr error
 	for attempt := 1; attempt <= m.cfg.MaxBuildAttempts; attempt++ {
@@ -326,7 +555,7 @@ func (m *Manager) buildWithRetry(rs *rules.RuleSet) (Classifier, error) {
 				backoff = m.cfg.BackoffMax
 			}
 		}
-		cl, err := m.build(rs)
+		cl, err := m.buildOnce(rung, rs)
 		if err == nil {
 			if cl == nil {
 				return nil, fmt.Errorf("update: builder returned a nil classifier")
@@ -334,8 +563,23 @@ func (m *Manager) buildWithRetry(rs *rules.RuleSet) (Classifier, error) {
 			return cl, nil
 		}
 		lastErr = err
+		if errors.Is(err, buildgov.ErrBudgetExceeded) {
+			return nil, fmt.Errorf("update: build aborted by budget on attempt %d: %w", attempt, err)
+		}
 	}
 	return nil, fmt.Errorf("update: builder failed %d times, last: %w", m.cfg.MaxBuildAttempts, lastErr)
+}
+
+// buildOnce runs a single build attempt under the configured per-attempt
+// deadline.
+func (m *Manager) buildOnce(rung Rung, rs *rules.RuleSet) (Classifier, error) {
+	ctx := context.Background()
+	if m.cfg.BuildTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, m.cfg.BuildTimeout)
+		defer cancel()
+	}
+	return rung.Build(ctx, rs)
 }
 
 // validate shadow-checks the candidate against priority linear search over
