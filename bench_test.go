@@ -3,6 +3,7 @@ package repro
 import (
 	"testing"
 
+	"repro/internal/engine"
 	"repro/internal/experiments"
 )
 
@@ -236,6 +237,78 @@ func BenchmarkExpCutsBuild(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- Serving fast path (the tracked baseline behind BENCH_PR3.json) ---
+
+// serveBenchSet builds the 1k-rule ACL set the serving baseline tracks and
+// a trace over it.
+func serveBenchSet(b *testing.B) (*RuleSet, []Header) {
+	b.Helper()
+	rs, err := experiments.ServeRuleSet(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := GenerateTrace(rs, 4096, 11, 0.9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rs, tr.Headers
+}
+
+// benchServeEngine drives the ordered engine over the ACL1K trace at the
+// given batch size and reports end-to-end throughput in Mpkt/s.
+func benchServeEngine(b *testing.B, batchSize int) {
+	rs, headers := serveBenchSet(b)
+	tree, err := NewExpCuts(rs, ExpCutsConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := engine.DefaultConfig()
+	cfg.BatchSize = batchSize
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunEngine(tree, cfg, headers, func(EngineResult) {}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*len(headers))/b.Elapsed().Seconds()/1e6, "Mpps")
+}
+
+// BenchmarkServePerPacket is the serving baseline's denominator: the
+// ordered engine dispatching one packet per job (BatchSize 1) on ExpCuts
+// over the 1k-rule ACL set.
+func BenchmarkServePerPacket(b *testing.B) {
+	benchServeEngine(b, 1)
+}
+
+// BenchmarkServeBatched is the serving fast path: the same engine, same
+// ordering guarantee, dispatching the default 64-packet batches.
+func BenchmarkServeBatched(b *testing.B) {
+	benchServeEngine(b, engine.DefaultBatchSize)
+}
+
+// BenchmarkServeClassifyBatch measures the raw level-synchronous batched
+// walk (no engine, no channels) — the allocation column is the regression
+// gate: steady state must be 0 allocs/op.
+func BenchmarkServeClassifyBatch(b *testing.B) {
+	rs, headers := serveBenchSet(b)
+	tree, err := NewExpCuts(rs, ExpCutsConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := headers[:engine.DefaultBatchSize]
+	out := make([]int, len(batch))
+	tree.ClassifyBatch(batch, out) // warm the pooled scratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.ClassifyBatch(batch, out)
+	}
+	b.StopTimer()
+	perOp := b.Elapsed().Seconds() / float64(b.N) / float64(len(batch))
+	b.ReportMetric(perOp*1e9, "ns/pkt")
 }
 
 // BenchmarkNPSimulate measures the discrete-event simulator itself

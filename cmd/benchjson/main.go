@@ -1,0 +1,104 @@
+// Command benchjson runs the serving fast-path comparison (the hardened
+// engine per-packet versus batched on the 1k-rule ACL set) and writes a
+// machine-readable baseline. The checked-in BENCH_PR3.json at the repo
+// root is one such run; CI regenerates the numbers so regressions show up
+// as a diff against it.
+//
+// Usage:
+//
+//	benchjson [-out BENCH_PR3.json] [-batch 64] [-packets 25000] [-seed 1]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/experiments"
+)
+
+// baseline is the file format: enough run metadata to interpret the rows
+// (a 1-core container and a 16-core server produce very different absolute
+// Mpps; the speedup column is the portable number).
+type baseline struct {
+	Benchmark  string `json:"benchmark"`
+	Generated  string `json:"generated"`
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	RuleSet    string `json:"rule_set"`
+	Rules      int    `json:"rules"`
+	Packets    int    `json:"packets"`
+	BatchSize  int    `json:"batch_size"`
+	Rows       []row  `json:"rows"`
+}
+
+type row struct {
+	Algo          string  `json:"algo"`
+	PerPacketMpps float64 `json:"per_packet_mpps"`
+	BatchedMpps   float64 `json:"batched_mpps"`
+	Speedup       float64 `json:"speedup"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_PR3.json", "output file ('-' for stdout)")
+	batch := flag.Int("batch", engine.DefaultBatchSize, "engine batch size for the batched runs")
+	packets := flag.Int("packets", 0, "packets per timed run (0 = experiment default)")
+	seed := flag.Int64("seed", 1, "trace and rule-set seed")
+	flag.Parse()
+
+	ctx := experiments.DefaultContext()
+	ctx.Seed = *seed
+	if *packets > 0 {
+		ctx.Packets = *packets
+	}
+	rows, err := experiments.Serve(ctx, *batch)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
+	b := baseline{
+		Benchmark:  "serve-fast-path",
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		RuleSet:    "ACL1K",
+		Rules:      experiments.ServeRuleSize,
+		Packets:    ctx.Packets,
+		BatchSize:  *batch,
+	}
+	for _, r := range rows {
+		b.Rows = append(b.Rows, row{
+			Algo:          r.Algo,
+			PerPacketMpps: round2(r.PerPacketMpps),
+			BatchedMpps:   round2(r.BatchedMpps),
+			Speedup:       round2(r.Speedup),
+		})
+	}
+
+	enc, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d algorithms, batch=%d)\n", *out, len(b.Rows), *batch)
+}
+
+// round2 keeps the checked-in baseline diffable: two decimals carry all
+// the signal a throughput comparison has.
+func round2(v float64) float64 {
+	return float64(int(v*100+0.5)) / 100
+}

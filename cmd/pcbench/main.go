@@ -7,18 +7,25 @@
 //	pcbench -experiment fig6,fig9 -packets 50000
 //
 // Experiments: fig6 fig7 fig8 fig9 tab2 tab4 tab5
-// stride habs popcount binth sharing extended ladder all
+// stride habs popcount binth sharing extended ladder serve all
 //
 // The ladder experiment walks every rule set (standard + pathological)
 // through the degradation ladder given by -ladder under the build budget
 // given by -build-timeout / -build-maxnodes, and prints which rung ended
 // up serving each run.
+//
+// The serve experiment measures engine throughput per-packet versus
+// batched (-batch sets the batch size) on the 1k-rule ACL set; it is the
+// driver behind the tracked BENCH_PR3.json baseline. -cpuprofile and
+// -memprofile write pprof profiles covering the selected experiments.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -28,7 +35,7 @@ import (
 
 func main() {
 	var (
-		which    = flag.String("experiment", "all", "comma-separated experiment list (fig6 fig7 fig8 fig9 tab2 tab4 tab5 stride habs popcount binth sharing extended ladder all)")
+		which    = flag.String("experiment", "all", "comma-separated experiment list (fig6 fig7 fig8 fig9 tab2 tab4 tab5 stride habs popcount binth sharing extended ladder serve all)")
 		packets  = flag.Int("packets", 25000, "packets per simulation")
 		traceLen = flag.Int("trace", 2000, "distinct headers per trace")
 		seed     = flag.Int64("seed", 1, "trace seed")
@@ -37,8 +44,40 @@ func main() {
 		buildTimeout  = flag.Duration("build-timeout", 500*time.Millisecond, "ladder: wall-clock budget per build attempt (0 = unlimited)")
 		buildMaxNodes = flag.Int("build-maxnodes", 0, "ladder: node/table-row budget per build attempt (0 = unlimited)")
 		ladderNames   = flag.String("ladder", "expcuts,hicuts,hsm,linear", "ladder: degradation rungs, best first")
+
+		batch      = flag.Int("batch", 0, "serve: engine batch size (0 = engine default)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile covering the selected experiments")
+		memProfile = flag.String("memprofile", "", "write a heap profile after the selected experiments")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pcbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "pcbench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "pcbench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "pcbench:", err)
+			}
+		}()
+	}
 
 	ctx := experiments.Context{TraceLen: *traceLen, Packets: *packets, Seed: *seed}
 
@@ -110,6 +149,13 @@ func main() {
 				return "", err
 			}
 			return experiments.RenderLadder(rows, names, budget), nil
+		}},
+		{"serve", func() (string, error) {
+			rows, err := experiments.Serve(ctx, *batch)
+			if err != nil {
+				return "", err
+			}
+			return experiments.RenderServe(rows, *batch), nil
 		}},
 	}
 

@@ -27,6 +27,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -50,6 +52,12 @@ type classifier interface {
 	MemoryBytes() int
 }
 
+// batchClassifier is the optional batched contract (engine.BatchClassifier
+// shape); every repository classifier implements it.
+type batchClassifier interface {
+	ClassifyBatch(hs []rules.Header, out []int)
+}
+
 func main() {
 	var (
 		rulesFile = flag.String("rules", "", "rule set file (ClassBench-style)")
@@ -68,6 +76,10 @@ func main() {
 		buildTimeout  = flag.Duration("build-timeout", 0, "build budget: wall-clock bound (0 = none)")
 		buildMaxNodes = flag.Int("build-maxnodes", 0, "build budget: node/table-row bound (0 = none)")
 		ladderNames   = flag.String("ladder", "", "build through this degradation ladder (comma-separated rungs, best first) instead of -algo")
+
+		batch      = flag.Int("batch", 0, "batch size: engine dispatch granularity with -workers, ClassifyBatch chunking when sequential (0 = default/per-packet)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the classify phase")
+		memProfile = flag.String("memprofile", "", "write a heap profile after classification")
 	)
 	flag.Parse()
 
@@ -114,6 +126,32 @@ func main() {
 	if *workers < 0 {
 		fatal(fmt.Errorf("-workers must be >= 0 (0 = sequential), got %d", *workers))
 	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "pcclass:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "pcclass:", err)
+			}
+		}()
+	}
+
 	var engineStats engine.Stats
 	var engineErr error
 	start = time.Now()
@@ -122,6 +160,7 @@ func main() {
 			Workers:       *workers,
 			QueueDepth:    *queue,
 			PreserveOrder: !*unordered,
+			BatchSize:     *batch,
 		}
 		switch *overload {
 		case "block":
@@ -145,6 +184,17 @@ func main() {
 		})
 		if engineErr != nil && !errors.Is(engineErr, context.DeadlineExceeded) {
 			fatal(engineErr)
+		}
+	} else if bc, ok := cl.(batchClassifier); ok && *batch > 1 {
+		// Sequential batched path: classify fixed-size chunks through
+		// ClassifyBatch, reusing one match buffer.
+		matches := make([]int, *batch)
+		for i := 0; i < len(headers); i += *batch {
+			chunk := headers[i:min(i+*batch, len(headers))]
+			bc.ClassifyBatch(chunk, matches[:len(chunk)])
+			for k, h := range chunk {
+				tally(h, matches[k])
+			}
 		}
 	} else {
 		for _, h := range headers {
@@ -272,7 +322,10 @@ func build(algo string, rs *rules.RuleSet, budget *buildgov.Budget) (classifier,
 type laddered struct{ m *update.Manager }
 
 func (l laddered) Classify(h rules.Header) int { return l.m.Classify(h) }
-func (l laddered) MemoryBytes() int            { return l.m.MemoryBytes() }
+func (l laddered) ClassifyBatch(hs []rules.Header, out []int) {
+	l.m.ClassifyBatch(hs, out)
+}
+func (l laddered) MemoryBytes() int { return l.m.MemoryBytes() }
 func (l laddered) Name() string {
 	algo, level := l.m.DescribeAlgorithm()
 	return fmt.Sprintf("ladder:%s (degradation level %d)", algo, level)

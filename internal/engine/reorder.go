@@ -1,0 +1,73 @@
+package engine
+
+// reorderRing is the sliding reorder buffer of the ordered emit stage. A
+// result with sequence number s lives at slots[s & (len(slots)-1)]: because
+// the engine drains in strict sequence order, the live window of sequence
+// numbers is always [next, next+len(slots)), so the masked index is
+// collision-free as long as the window fits. The ring doubles (re-indexing
+// its occupants) when a result arrives beyond the current window — which
+// only happens when OverloadShed lets the dispatcher run far ahead of a
+// slow worker — and never shrinks, so the steady state allocates nothing.
+//
+// This replaces the map[uint64]Result the engine used before batching:
+// same semantics, but insertion and the in-order drain are single array
+// reads/writes instead of hash operations.
+type reorderRing struct {
+	slots   []Result
+	present []bool
+	next    uint64 // lowest sequence number not yet emitted
+	held    int    // occupied slots
+}
+
+// newReorderRing sizes the ring for at least two batches so the common
+// two-workers-out-of-order case never grows it.
+func newReorderRing(batchSize int) *reorderRing {
+	capacity := 1
+	for capacity < 2*batchSize {
+		capacity <<= 1
+	}
+	return &reorderRing{
+		slots:   make([]Result, capacity),
+		present: make([]bool, capacity),
+	}
+}
+
+// insert files r under its sequence number, growing the ring if r is
+// beyond the current window.
+func (g *reorderRing) insert(r Result) {
+	for r.Seq-g.next >= uint64(len(g.slots)) {
+		g.grow()
+	}
+	g.slots[r.Seq&uint64(len(g.slots)-1)] = r
+	g.present[r.Seq&uint64(len(g.slots)-1)] = true
+	g.held++
+}
+
+// drain emits every result from next upward until the first gap.
+func (g *reorderRing) drain(emit func(Result)) {
+	mask := uint64(len(g.slots) - 1)
+	for g.present[g.next&mask] {
+		i := g.next & mask
+		r := g.slots[i]
+		g.present[i] = false
+		g.slots[i] = Result{} // drop the header reference
+		g.held--
+		g.next++
+		emit(r)
+	}
+}
+
+// grow doubles the ring, re-indexing occupants (their slot is a function
+// of the capacity mask).
+func (g *reorderRing) grow() {
+	oldSlots, oldPresent := g.slots, g.present
+	g.slots = make([]Result, 2*len(oldSlots))
+	g.present = make([]bool, 2*len(oldPresent))
+	for i, p := range oldPresent {
+		if p {
+			r := oldSlots[i]
+			g.slots[r.Seq&uint64(len(g.slots)-1)] = r
+			g.present[r.Seq&uint64(len(g.slots)-1)] = true
+		}
+	}
+}

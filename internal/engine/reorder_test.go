@@ -1,0 +1,103 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// drainAll collects everything currently drainable.
+func drainAll(g *reorderRing) []uint64 {
+	var out []uint64
+	g.drain(func(r Result) { out = append(out, r.Seq) })
+	return out
+}
+
+func TestReorderRingInOrder(t *testing.T) {
+	g := newReorderRing(4)
+	for s := uint64(0); s < 20; s++ {
+		g.insert(Result{Seq: s})
+		got := drainAll(g)
+		if len(got) != 1 || got[0] != s {
+			t.Fatalf("seq %d: drained %v", s, got)
+		}
+	}
+	if g.held != 0 {
+		t.Errorf("held = %d after full drain", g.held)
+	}
+}
+
+func TestReorderRingOutOfOrderWithinWindow(t *testing.T) {
+	g := newReorderRing(4) // capacity 8
+	// Arrivals 3,1,2,0 then 4..7 reversed.
+	for _, s := range []uint64{3, 1, 2} {
+		g.insert(Result{Seq: s})
+		if got := drainAll(g); len(got) != 0 {
+			t.Fatalf("drained %v before seq 0 arrived", got)
+		}
+	}
+	if g.held != 3 {
+		t.Errorf("held = %d, want 3", g.held)
+	}
+	g.insert(Result{Seq: 0})
+	if got := drainAll(g); len(got) != 4 || got[0] != 0 || got[3] != 3 {
+		t.Fatalf("drained %v, want [0 1 2 3]", got)
+	}
+	for s := uint64(7); s >= 5; s-- {
+		g.insert(Result{Seq: s})
+	}
+	g.insert(Result{Seq: 4})
+	if got := drainAll(g); len(got) != 4 || got[0] != 4 || got[3] != 7 {
+		t.Fatalf("drained %v, want [4 5 6 7]", got)
+	}
+}
+
+// TestReorderRingGrowth inserts a result far beyond the window (the
+// shed-under-order scenario) and checks occupants survive the re-index.
+func TestReorderRingGrowth(t *testing.T) {
+	g := newReorderRing(2) // capacity 4
+	g.insert(Result{Seq: 1})
+	g.insert(Result{Seq: 2})
+	// Seq 40 is far outside [0, 4): the ring must double until it fits
+	// while keeping 1 and 2 where seq 0 can still release them.
+	g.insert(Result{Seq: 40})
+	if len(g.slots) < 41 {
+		t.Fatalf("capacity %d after inserting seq 40", len(g.slots))
+	}
+	if got := drainAll(g); len(got) != 0 {
+		t.Fatalf("drained %v with seq 0 missing", got)
+	}
+	g.insert(Result{Seq: 0})
+	if got := drainAll(g); len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 2 {
+		t.Fatalf("drained %v, want [0 1 2]", got)
+	}
+	if g.held != 1 {
+		t.Errorf("held = %d, want 1 (seq 40 still waiting)", g.held)
+	}
+}
+
+// TestReorderRingRandomPermutations stress-drains random arrival orders:
+// emission must always be 0..n-1 regardless of arrival permutation.
+func TestReorderRingRandomPermutations(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(500)
+		perm := rng.Perm(n)
+		g := newReorderRing(8)
+		var emitted []uint64
+		for _, s := range perm {
+			g.insert(Result{Seq: uint64(s)})
+			g.drain(func(r Result) { emitted = append(emitted, r.Seq) })
+		}
+		if len(emitted) != n {
+			t.Fatalf("trial %d: emitted %d of %d", trial, len(emitted), n)
+		}
+		for i, s := range emitted {
+			if s != uint64(i) {
+				t.Fatalf("trial %d: position %d got seq %d", trial, i, s)
+			}
+		}
+		if g.held != 0 {
+			t.Fatalf("trial %d: held = %d", trial, g.held)
+		}
+	}
+}

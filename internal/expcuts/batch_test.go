@@ -1,0 +1,94 @@
+package expcuts
+
+import (
+	"runtime/debug"
+	"testing"
+
+	"repro/internal/pktgen"
+	"repro/internal/rulegen"
+	"repro/internal/rules"
+)
+
+func batchFixture(t *testing.T) (*Tree, []rules.Header) {
+	t.Helper()
+	rs, err := rulegen.Generate(rulegen.Config{Kind: rulegen.CoreRouter, Size: 300, Seed: 801})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := New(rs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := pktgen.Generate(rs, pktgen.Config{Count: 256, Seed: 802, MatchFraction: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree, tr.Headers
+}
+
+// TestClassifyBatchZeroAllocSteadyState is the allocation regression gate
+// of the serving fast path: after the pooled scratch is warm, a 64-packet
+// ClassifyBatch must not allocate at all. GC is disabled for the
+// measurement so a collection cannot empty the pool mid-run and charge
+// the refill to the batch.
+func TestClassifyBatchZeroAllocSteadyState(t *testing.T) {
+	tree, hs := batchFixture(t)
+	batch := hs[:64]
+	out := make([]int, len(batch))
+	tree.ClassifyBatch(batch, out) // warm the pool
+
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	if n := testing.AllocsPerRun(100, func() {
+		tree.ClassifyBatch(batch, out)
+	}); n != 0 {
+		t.Fatalf("steady-state ClassifyBatch allocates %.2f times per op, want 0", n)
+	}
+}
+
+// TestClassifyBatchDegenerateTree covers the root-is-terminal shape (a
+// single wildcard rule collapses the whole tree into one leaf ref), which
+// the level-synchronous walk special-cases.
+func TestClassifyBatchDegenerateTree(t *testing.T) {
+	rs := rules.NewRuleSet("wildcard", []rules.Rule{{
+		SrcPort: rules.FullPortRange,
+		DstPort: rules.FullPortRange,
+		Proto:   rules.AnyProto,
+	}})
+	tree, err := New(rs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := []rules.Header{
+		{},
+		{SrcIP: 0xFFFFFFFF, DstIP: 0xFFFFFFFF, SrcPort: 65535, DstPort: 65535, Proto: 255},
+		{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, Proto: rules.ProtoTCP},
+	}
+	out := make([]int, len(hs))
+	tree.ClassifyBatch(hs, out)
+	for i, h := range hs {
+		if want := tree.Classify(h); out[i] != want {
+			t.Errorf("packet %d: batch %d, scalar %d", i, out[i], want)
+		}
+	}
+}
+
+// TestClassifyBatchSharedOut pins the in-place trick: the out slice is
+// used to carry tree positions during the walk, so consecutive batches
+// reusing the same out slice must not leak state across calls.
+func TestClassifyBatchSharedOut(t *testing.T) {
+	tree, hs := batchFixture(t)
+	out := make([]int, 64)
+	want := make([]int, 64)
+	for round := 0; round < 4; round++ {
+		batch := hs[round*64 : (round+1)*64]
+		tree.ClassifyBatch(batch, out)
+		for i, h := range batch {
+			want[i] = tree.Classify(h)
+		}
+		for i := range batch {
+			if out[i] != want[i] {
+				t.Fatalf("round %d packet %d: batch %d, scalar %d", round, i, out[i], want[i])
+			}
+		}
+	}
+}

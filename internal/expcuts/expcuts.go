@@ -412,9 +412,10 @@ func (t *Tree) collectStats() {
 	uniqueTotal := 0
 	cells := 1 << t.cfg.StrideW
 	sub := 1 << (t.cfg.StrideW - t.cfg.HabsV)
+	distinct := make(map[ref]bool, 1<<t.cfg.StrideW)
 	for _, n := range t.nodes {
 		st.NodesPerLevel[n.level]++
-		distinct := make(map[ref]bool, 8)
+		clear(distinct)
 		for _, p := range n.ptrs {
 			distinct[p] = true
 		}

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/expcuts"
+	"repro/internal/hicuts"
+	"repro/internal/hsm"
+	"repro/internal/rfc"
+	"repro/internal/rulegen"
+	"repro/internal/rules"
+)
+
+// ServeRow is one algorithm's serving-path throughput comparison:
+// the hardened engine driven per-packet (BatchSize 1) versus batched.
+type ServeRow struct {
+	Algo          string
+	PerPacketMpps float64
+	BatchedMpps   float64
+	Speedup       float64
+}
+
+// ServeRuleSize is the rule count of the serving benchmark's ACL set
+// (the "1k-rule ACL set" the PR baseline tracks).
+const ServeRuleSize = 1000
+
+// serveReps is how many timed runs each configuration gets; the fastest
+// is reported, the standard way to suppress scheduler noise.
+const serveReps = 5
+
+// ServeRuleSet builds the deterministic 1k-rule core-router ACL set the
+// serving benchmark runs against.
+func ServeRuleSet(seed int64) (*rules.RuleSet, error) {
+	return rulegen.Generate(rulegen.Config{
+		Kind: rulegen.CoreRouter, Size: ServeRuleSize, Seed: seed, Name: "ACL1K",
+	})
+}
+
+// Serve measures engine throughput per-packet versus batched for the four
+// main algorithms on the 1k-rule ACL set. batchSize 0 uses the engine
+// default. The per-packet baseline is the same engine at BatchSize 1, so
+// the comparison isolates batching itself (same workers, same channels,
+// same ordering guarantee).
+func Serve(ctx Context, batchSize int) ([]ServeRow, error) {
+	ctx.fillDefaults()
+	if batchSize == 0 {
+		batchSize = engine.DefaultBatchSize
+	}
+	rs, err := ServeRuleSet(ctx.Seed)
+	if err != nil {
+		return nil, err
+	}
+	trace, err := ctx.headers(rs)
+	if err != nil {
+		return nil, err
+	}
+	hs := make([]rules.Header, ctx.Packets)
+	for i := range hs {
+		hs[i] = trace[i%len(trace)]
+	}
+
+	type algo struct {
+		name  string
+		build func() (engine.Classifier, error)
+	}
+	algos := []algo{
+		{"ExpCuts", func() (engine.Classifier, error) { return expcuts.New(rs, expcuts.Config{}) }},
+		{"HiCuts", func() (engine.Classifier, error) { return hicuts.New(rs, hicuts.Config{}) }},
+		{"HSM", func() (engine.Classifier, error) { return hsm.New(rs, hsm.Config{}) }},
+		{"RFC", func() (engine.Classifier, error) { return rfc.New(rs, rfc.Config{}) }},
+	}
+
+	rows := make([]ServeRow, 0, len(algos))
+	for _, a := range algos {
+		cl, err := a.build()
+		if err != nil {
+			return nil, fmt.Errorf("serve: building %s: %w", a.name, err)
+		}
+		perPacket, err := engineMpps(cl, hs, 1)
+		if err != nil {
+			return nil, fmt.Errorf("serve: %s per-packet run: %w", a.name, err)
+		}
+		batched, err := engineMpps(cl, hs, batchSize)
+		if err != nil {
+			return nil, fmt.Errorf("serve: %s batched run: %w", a.name, err)
+		}
+		rows = append(rows, ServeRow{
+			Algo:          a.name,
+			PerPacketMpps: perPacket,
+			BatchedMpps:   batched,
+			Speedup:       batched / perPacket,
+		})
+	}
+	return rows, nil
+}
+
+// engineMpps times serveReps ordered engine runs over hs at the given
+// batch size and returns the fastest in Mpkt/s.
+func engineMpps(cl engine.Classifier, hs []rules.Header, batchSize int) (float64, error) {
+	cfg := engine.DefaultConfig()
+	cfg.BatchSize = batchSize
+	var best time.Duration
+	for rep := 0; rep < serveReps; rep++ {
+		start := time.Now()
+		if _, err := engine.RunContext(context.Background(), cl, cfg, hs, func(engine.Result) {}); err != nil {
+			return 0, err
+		}
+		if elapsed := time.Since(start); rep == 0 || elapsed < best {
+			best = elapsed
+		}
+	}
+	return float64(len(hs)) / best.Seconds() / 1e6, nil
+}
+
+// RenderServe formats the serving comparison.
+func RenderServe(rows []ServeRow, batchSize int) string {
+	if batchSize == 0 {
+		batchSize = engine.DefaultBatchSize
+	}
+	table := make([][]string, len(rows))
+	for i, r := range rows {
+		table[i] = []string{
+			r.Algo,
+			fmt.Sprintf("%.2f", r.PerPacketMpps),
+			fmt.Sprintf("%.2f", r.BatchedMpps),
+			fmt.Sprintf("%.2fx", r.Speedup),
+		}
+	}
+	return fmt.Sprintf("Serving fast path — engine throughput on ACL1K (%d rules), batch=%d\n%s",
+		ServeRuleSize, batchSize,
+		renderTable([]string{"Algorithm", "Per-packet Mpps", "Batched Mpps", "Speedup"}, table))
+}

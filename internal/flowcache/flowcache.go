@@ -6,13 +6,19 @@
 // classifier in this repository and never changes classification results —
 // it only changes their cost.
 //
+// The LRU is an index-linked list over a preallocated entry slab: prev and
+// next are int32 indices into the slab rather than heap pointers, so the
+// steady state performs no allocation per insert, no interface boxing, and
+// no pointer chasing beyond the slab itself (the layout an ME would use in
+// local memory). All allocation happens in New and during the first
+// capacity misses.
+//
 // The cache is not safe for concurrent use; give each worker its own cache
 // (per-thread caches are also what an ME implementation would do, in local
 // memory).
 package flowcache
 
 import (
-	"container/list"
 	"fmt"
 
 	"repro/internal/rules"
@@ -23,19 +29,45 @@ type Classifier interface {
 	Classify(h rules.Header) int
 }
 
+// BatchClassifier is the optional batched slow-path contract (mirrors
+// engine.BatchClassifier; declared locally so flowcache keeps zero
+// dependency on the engine). When the wrapped classifier implements it,
+// ClassifyBatch forwards all of a batch's misses as one sub-batch.
+type BatchClassifier interface {
+	Classifier
+	ClassifyBatch(hs []rules.Header, out []int)
+}
+
+// none marks an empty link or absent slot.
+const none = int32(-1)
+
+// entry is one slab slot: the cached flow, its match, and its position in
+// the recency list (index links, not pointers).
+type entry struct {
+	key        rules.Header
+	match      int
+	prev, next int32
+}
+
 // Cache is a bounded LRU flow cache over a classifier.
 type Cache struct {
 	slow     Classifier
+	batch    BatchClassifier // slow, if it supports batching; else nil
 	capacity int
-	entries  map[rules.Header]*list.Element
-	order    *list.List // front = most recent
+
+	index      map[rules.Header]int32 // key -> slab slot
+	slab       []entry                // preallocated, len == capacity
+	head, tail int32                  // most/least recently used; none when empty
+	used       int32                  // slab slots ever occupied (<= capacity)
 
 	hits, misses uint64
-}
 
-type entry struct {
-	key   rules.Header
-	match int
+	// Miss-forwarding scratch for ClassifyBatch, retained across calls so
+	// the steady state allocates nothing. missIdx[k] is the batch position
+	// of the k-th miss.
+	missHs  []rules.Header
+	missIdx []int32
+	missOut []int
 }
 
 // New wraps the classifier with a cache of the given capacity (flows).
@@ -43,42 +75,147 @@ func New(slow Classifier, capacity int) (*Cache, error) {
 	if capacity < 1 {
 		return nil, fmt.Errorf("flowcache: capacity must be >= 1, got %d", capacity)
 	}
-	return &Cache{
+	c := &Cache{
 		slow:     slow,
 		capacity: capacity,
-		entries:  make(map[rules.Header]*list.Element, capacity),
-		order:    list.New(),
-	}, nil
+		index:    make(map[rules.Header]int32, capacity),
+		slab:     make([]entry, capacity),
+		head:     none,
+		tail:     none,
+	}
+	c.batch, _ = slow.(BatchClassifier)
+	return c, nil
 }
 
 // Classify returns exactly what the wrapped classifier would, consulting
 // the cache first.
 func (c *Cache) Classify(h rules.Header) int {
-	if el, ok := c.entries[h]; ok {
+	if i, ok := c.index[h]; ok {
 		c.hits++
-		c.order.MoveToFront(el)
-		return el.Value.(*entry).match
+		c.moveToFront(i)
+		return c.slab[i].match
 	}
 	c.misses++
 	match := c.slow.Classify(h)
-	if c.order.Len() >= c.capacity {
-		oldest := c.order.Back()
-		c.order.Remove(oldest)
-		delete(c.entries, oldest.Value.(*entry).key)
-	}
-	c.entries[h] = c.order.PushFront(&entry{key: h, match: match})
+	c.insert(h, match)
 	return match
 }
 
+// ClassifyBatch classifies hs[i] into out[i] (the engine's
+// BatchClassifier contract; out must be at least as long as hs). Hits are
+// served in a first pass; all misses are forwarded to the slow path as one
+// sub-batch, so a batched slow path amortizes its work across every cold
+// flow in the batch. Results are identical to per-packet Classify calls;
+// the only observable difference is accounting — a flow missed twice
+// within one batch counts two misses here, where sequential Classify
+// would count the second occurrence as a hit.
+func (c *Cache) ClassifyBatch(hs []rules.Header, out []int) {
+	out = out[:len(hs)]
+	c.missHs = c.missHs[:0]
+	c.missIdx = c.missIdx[:0]
+	for i, h := range hs {
+		if j, ok := c.index[h]; ok {
+			c.hits++
+			c.moveToFront(j)
+			out[i] = c.slab[j].match
+			continue
+		}
+		c.misses++
+		c.missHs = append(c.missHs, h)
+		c.missIdx = append(c.missIdx, int32(i))
+	}
+	if len(c.missHs) == 0 {
+		return
+	}
+	if cap(c.missOut) < len(c.missHs) {
+		c.missOut = make([]int, len(c.missHs))
+	}
+	mo := c.missOut[:len(c.missHs)]
+	if c.batch != nil {
+		c.batch.ClassifyBatch(c.missHs, mo)
+	} else {
+		for k, h := range c.missHs {
+			mo[k] = c.slow.Classify(h)
+		}
+	}
+	for k, i := range c.missIdx {
+		out[i] = mo[k]
+		c.insert(c.missHs[k], mo[k])
+	}
+}
+
+// insert caches h's match, evicting the LRU entry at capacity. A key that
+// is already present (a flow missed more than once in a single batch) has
+// its slot refreshed instead of duplicated.
+func (c *Cache) insert(h rules.Header, match int) {
+	if i, ok := c.index[h]; ok {
+		c.slab[i].match = match
+		c.moveToFront(i)
+		return
+	}
+	var i int32
+	if int(c.used) < c.capacity {
+		i = c.used
+		c.used++
+	} else {
+		// Reuse the LRU slot.
+		i = c.tail
+		delete(c.index, c.slab[i].key)
+		c.unlink(i)
+	}
+	c.slab[i] = entry{key: h, match: match, prev: none, next: none}
+	c.pushFront(i)
+	c.index[h] = i
+}
+
+// unlink removes slot i from the recency list.
+func (c *Cache) unlink(i int32) {
+	e := &c.slab[i]
+	if e.prev != none {
+		c.slab[e.prev].next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != none {
+		c.slab[e.next].prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = none, none
+}
+
+// pushFront links slot i as the most recently used.
+func (c *Cache) pushFront(i int32) {
+	e := &c.slab[i]
+	e.prev, e.next = none, c.head
+	if c.head != none {
+		c.slab[c.head].prev = i
+	}
+	c.head = i
+	if c.tail == none {
+		c.tail = i
+	}
+}
+
+// moveToFront refreshes slot i's recency.
+func (c *Cache) moveToFront(i int32) {
+	if c.head == i {
+		return
+	}
+	c.unlink(i)
+	c.pushFront(i)
+}
+
 // Invalidate empties the cache; call it after the underlying rule set
-// changes (e.g. on every update.Manager generation change).
+// changes (e.g. on every update.Manager generation change). The slab and
+// index are retained, so refilling allocates nothing.
 func (c *Cache) Invalidate() {
-	c.entries = make(map[rules.Header]*list.Element, c.capacity)
-	c.order.Init()
+	clear(c.index)
+	c.head, c.tail, c.used = none, none, 0
 }
 
 // Len returns the number of cached flows.
-func (c *Cache) Len() int { return c.order.Len() }
+func (c *Cache) Len() int { return len(c.index) }
 
 // Stats returns hit and miss counts since creation.
 func (c *Cache) Stats() (hits, misses uint64) { return c.hits, c.misses }

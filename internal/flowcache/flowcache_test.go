@@ -2,6 +2,7 @@ package flowcache
 
 import (
 	"math/rand"
+	"runtime/debug"
 	"testing"
 
 	"repro/internal/expcuts"
@@ -152,5 +153,164 @@ func TestCapacityValidation(t *testing.T) {
 	_, slow := fixtures(t)
 	if _, err := New(slow, 0); err == nil {
 		t.Error("capacity 0 should fail")
+	}
+}
+
+// countingBatchClassifier also implements ClassifyBatch, counting
+// sub-batch forwards.
+type countingBatchClassifier struct {
+	countingClassifier
+	batchCalls   int
+	batchPackets int
+}
+
+func (c *countingBatchClassifier) ClassifyBatch(hs []rules.Header, out []int) {
+	c.batchCalls++
+	c.batchPackets += len(hs)
+	for i, h := range hs {
+		out[i] = c.inner.Classify(h)
+	}
+}
+
+func TestClassifyBatchMatchesSequential(t *testing.T) {
+	rs, slowA := fixtures(t)
+	_, slowB := fixtures(t)
+	seq, err := New(slowA, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bat, err := New(slowB, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := pktgen.Generate(rs, pktgen.Config{Count: 600, Seed: 605, MatchFraction: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Repeat the trace so both caches see hits, misses and evictions.
+	hs := append(append([]rules.Header{}, tr.Headers...), tr.Headers[:300]...)
+	out := make([]int, 64)
+	for lo := 0; lo < len(hs); lo += 64 {
+		hi := min(lo+64, len(hs))
+		bat.ClassifyBatch(hs[lo:hi], out[:hi-lo])
+		for k, h := range hs[lo:hi] {
+			if want := seq.Classify(h); out[k] != want {
+				t.Fatalf("packet %d: batch %d, sequential %d", lo+k, out[k], want)
+			}
+		}
+	}
+	if bat.Len() != seq.Len() {
+		t.Errorf("cache sizes diverged: batch %d, sequential %d", bat.Len(), seq.Len())
+	}
+}
+
+// TestBatchForwardsMissesAsOneSubBatch pins the tentpole behavior: all of
+// a batch's misses reach a batched slow path in a single ClassifyBatch
+// call, not one call per miss.
+func TestBatchForwardsMissesAsOneSubBatch(t *testing.T) {
+	rs, counting := fixtures(t)
+	slow := &countingBatchClassifier{countingClassifier: *counting}
+	cache, err := New(slow, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := pktgen.Generate(rs, pktgen.Config{Count: 64, Seed: 606, MatchFraction: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]int, 64)
+	cache.ClassifyBatch(tr.Headers, out)
+	if slow.batchCalls != 1 {
+		t.Errorf("cold batch forwarded %d sub-batches, want 1", slow.batchCalls)
+	}
+	if slow.calls != 0 {
+		t.Errorf("cold batch used per-packet slow path %d times, want 0", slow.calls)
+	}
+	// All flows cached now: no slow-path traffic at all.
+	cache.ClassifyBatch(tr.Headers, out)
+	if slow.batchCalls != 1 || slow.calls != 0 {
+		t.Errorf("warm batch hit the slow path (batch calls %d, scalar calls %d)", slow.batchCalls, slow.calls)
+	}
+	hits, misses := cache.Stats()
+	if misses != uint64(slow.batchPackets) {
+		t.Errorf("misses %d != packets forwarded %d", misses, slow.batchPackets)
+	}
+	if hits != 64 {
+		t.Errorf("hits = %d, want 64", hits)
+	}
+}
+
+// TestBatchDuplicateMisses covers a flow appearing more than once in a
+// single cold batch: every occurrence must get the right answer and the
+// cache must end up with exactly one entry for it.
+func TestBatchDuplicateMisses(t *testing.T) {
+	_, slow := fixtures(t)
+	cache, err := New(slow, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := rules.Header{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, Proto: rules.ProtoTCP}
+	hs := []rules.Header{h, h, h, h}
+	out := make([]int, len(hs))
+	cache.ClassifyBatch(hs, out)
+	want := slow.inner.Classify(h)
+	for i, got := range out {
+		if got != want {
+			t.Errorf("occurrence %d: got %d, want %d", i, got, want)
+		}
+	}
+	if cache.Len() != 1 {
+		t.Errorf("Len = %d, want 1", cache.Len())
+	}
+}
+
+// TestBatchZeroAllocWarm is the flow cache's allocation regression gate:
+// once every flow in the batch is cached, ClassifyBatch allocates nothing.
+func TestBatchZeroAllocWarm(t *testing.T) {
+	rs, slow := fixtures(t)
+	cache, err := New(slow, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := pktgen.Generate(rs, pktgen.Config{Count: 64, Seed: 607, MatchFraction: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]int, 64)
+	cache.ClassifyBatch(tr.Headers, out) // warm: every flow cached
+
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	if n := testing.AllocsPerRun(100, func() {
+		cache.ClassifyBatch(tr.Headers, out)
+	}); n != 0 {
+		t.Fatalf("warm ClassifyBatch allocates %.2f times per op, want 0", n)
+	}
+}
+
+// TestInsertZeroAllocAfterWarmup: evicting inserts reuse slab slots, so
+// even a 100%-miss workload stops allocating once the slab is full (the
+// map's bucket array is the one exception Go's map can regrow; a fixed
+// key universe avoids it here).
+func TestInsertZeroAllocAfterWarmup(t *testing.T) {
+	_, slow := fixtures(t)
+	cache, err := New(slow, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 32 distinct flows through an 8-entry cache: every access evicts.
+	flows := make([]rules.Header, 32)
+	for i := range flows {
+		flows[i] = rules.Header{SrcIP: uint32(i), SrcPort: 80, Proto: rules.ProtoTCP}
+	}
+	for _, h := range flows {
+		cache.Classify(h)
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	i := 0
+	if n := testing.AllocsPerRun(200, func() {
+		cache.Classify(flows[i%len(flows)])
+		i++
+	}); n != 0 {
+		t.Fatalf("evicting Classify allocates %.2f times per op, want 0", n)
 	}
 }

@@ -161,6 +161,10 @@ type Tree struct {
 	rootPtr  uint32
 	ruleCh   uint8
 	ruleBase uint32
+
+	// dimSeen is chooseCuts's distinct-projection scratch, hoisted here so
+	// the build allocates it once instead of once per dimension per node.
+	dimSeen map[rules.Span]bool
 }
 
 // New builds a HyperCuts tree over the rule set and serializes it.
@@ -323,11 +327,15 @@ func forEachCell(ranges [][2]int, cuts []cutSpec, fn func(linear int)) {
 func (t *Tree) chooseCuts(box rules.Box, ruleIdx []int) []cutSpec {
 	// Distinct clipped projections per dimension.
 	var distinct [rules.NumDims]int
+	if t.dimSeen == nil {
+		t.dimSeen = make(map[rules.Span]bool, len(ruleIdx))
+	}
+	seen := t.dimSeen
 	for d := 0; d < rules.NumDims; d++ {
 		if box[d].Size() < 2 {
 			continue
 		}
-		seen := make(map[rules.Span]bool, len(ruleIdx))
+		clear(seen)
 		for _, ri := range ruleIdx {
 			if clip, ok := t.rs.Rules[ri].Span(rules.Dim(d)).Intersect(box[d]); ok {
 				seen[clip] = true
@@ -377,15 +385,14 @@ func (t *Tree) chooseCuts(box rules.Box, ruleIdx []int) []cutSpec {
 			if uint64(1)<<next.log2nc > box[cuts[i].dim].Size() {
 				continue
 			}
-			trial := append(append([]cutSpec(nil), cuts[:i]...), next)
-			trial = append(trial, cuts[i+1:]...)
-			if totalCells(trial) > t.cfg.MaxCells {
-				continue
-			}
-			if t.spaceMeasure(box, ruleIdx, trial) > budget {
-				continue
-			}
+			// Trial in place: swap the grown spec in, evaluate, and swap
+			// back on rejection — no per-iteration trial slice.
+			prev := cuts[i]
 			cuts[i] = next
+			if totalCells(cuts) > t.cfg.MaxCells || t.spaceMeasure(box, ruleIdx, cuts) > budget {
+				cuts[i] = prev
+				continue
+			}
 			grew = true
 		}
 		if !grew {
@@ -449,6 +456,18 @@ func (t *Tree) Classify(h rules.Header) int {
 		}
 	}
 	return -1
+}
+
+// ClassifyBatch classifies hs[i] into out[i] (the engine's
+// BatchClassifier contract; out must be at least as long as hs). Like
+// HiCuts, HyperCuts depth is data-dependent, so this is the amortized
+// per-packet loop: one call, zero allocations, answers identical to
+// Classify.
+func (t *Tree) ClassifyBatch(hs []rules.Header, out []int) {
+	out = out[:len(hs)]
+	for i, h := range hs {
+		out[i] = t.Classify(h)
+	}
 }
 
 // Name identifies the algorithm in reports.

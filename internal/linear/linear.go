@@ -44,6 +44,17 @@ func (c *Classifier) Classify(h rules.Header) int {
 	return c.rs.Match(h)
 }
 
+// ClassifyBatch classifies hs[i] into out[i] (the engine's
+// BatchClassifier contract; out must be at least as long as hs). Linear
+// search is already allocation-free; the batch form only amortizes
+// dispatch.
+func (c *Classifier) ClassifyBatch(hs []rules.Header, out []int) {
+	out = out[:len(hs)]
+	for i, h := range hs {
+		out[i] = c.rs.Match(h)
+	}
+}
+
 // MemoryBytes returns the SRAM footprint: 6 words per rule.
 func (c *Classifier) MemoryBytes() int { return c.image.TotalBytes() }
 

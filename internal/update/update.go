@@ -37,6 +37,17 @@ type Classifier interface {
 	MemoryBytes() int
 }
 
+// BatchClassifier is the optional batched read-side contract. Managed
+// generations whose classifier implements it serve whole batches under a
+// single atomic generation load; the manager's own ClassifyBatch falls
+// back to a per-packet loop otherwise. Declared locally (mirroring
+// engine.BatchClassifier) so the update package keeps zero dependency on
+// the engine.
+type BatchClassifier interface {
+	Classifier
+	ClassifyBatch(hs []rules.Header, out []int)
+}
+
 // Builder constructs a classifier generation from a rule set (e.g. wrap
 // expcuts.New with its Config applied).
 type Builder func(rs *rules.RuleSet) (Classifier, error)
@@ -337,6 +348,24 @@ func NewManagerLadder(rs *rules.RuleSet, ladder []Rung, cfg Config) (*Manager, e
 // list.
 func (m *Manager) Classify(h rules.Header) int {
 	return m.live.Load().cl.Classify(h)
+}
+
+// ClassifyBatch classifies hs[i] into out[i] against the live generation.
+// The generation pointer is loaded once for the whole batch, so every
+// packet in a batch classifies against the same consistent snapshot even
+// if an Apply lands mid-batch — a strictly stronger consistency grain
+// than the per-packet loop, at one atomic load per batch instead of one
+// per packet.
+func (m *Manager) ClassifyBatch(hs []rules.Header, out []int) {
+	g := m.live.Load()
+	if bc, ok := g.cl.(BatchClassifier); ok {
+		bc.ClassifyBatch(hs, out)
+		return
+	}
+	out = out[:len(hs)]
+	for i, h := range hs {
+		out[i] = g.cl.Classify(h)
+	}
 }
 
 // Snapshot returns the live generation's rule list (callers must not

