@@ -1,12 +1,20 @@
 // Command benchjson runs the serving fast-path comparison (the hardened
 // engine per-packet versus batched on the 1k-rule ACL set) and writes a
-// machine-readable baseline. The checked-in BENCH_PR3.json at the repo
-// root is one such run; CI regenerates the numbers so regressions show up
-// as a diff against it.
+// machine-readable baseline. The checked-in BENCH_PR3.json and
+// BENCH_PR4.json at the repo root are such runs; CI regenerates the
+// numbers so regressions show up as a diff against them.
+//
+// With -scaling the file also carries the multi-core serving curve:
+// batched ExpCuts at 1/2/4/8 shards, with measured wall-clock Mpps and
+// the critical-path projection (packets / busiest shard's classify
+// time). With -check FILE the tool instead re-measures the 1-shard
+// batched rows and exits non-zero if any algorithm regressed against
+// FILE beyond -tolerance — the benchstat-style gate CI runs.
 //
 // Usage:
 //
-//	benchjson [-out BENCH_PR3.json] [-batch 64] [-packets 25000] [-seed 1]
+//	benchjson [-out BENCH_PR4.json] [-scaling] [-batch 64] [-packets 25000] [-seed 1]
+//	benchjson -check BENCH_PR3.json [-tolerance 0.25]
 package main
 
 import (
@@ -15,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"repro/internal/engine"
@@ -23,17 +32,22 @@ import (
 
 // baseline is the file format: enough run metadata to interpret the rows
 // (a 1-core container and a 16-core server produce very different absolute
-// Mpps; the speedup column is the portable number).
+// Mpps; the speedup columns are the portable numbers).
 type baseline struct {
-	Benchmark  string `json:"benchmark"`
-	Generated  string `json:"generated"`
-	GoVersion  string `json:"go_version"`
-	GOMAXPROCS int    `json:"gomaxprocs"`
-	RuleSet    string `json:"rule_set"`
-	Rules      int    `json:"rules"`
-	Packets    int    `json:"packets"`
-	BatchSize  int    `json:"batch_size"`
-	Rows       []row  `json:"rows"`
+	Benchmark   string `json:"benchmark"`
+	Generated   string `json:"generated"`
+	GoVersion   string `json:"go_version"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+	CPU         string `json:"cpu,omitempty"`
+	RuleSet     string `json:"rule_set"`
+	Rules       int    `json:"rules"`
+	RuleSetSeed int64  `json:"rule_set_seed"`
+	Packets     int    `json:"packets"`
+	BatchSize   int    `json:"batch_size"`
+	Rows        []row  `json:"rows"`
+	// Scaling is the multi-core serving curve (present with -scaling).
+	Scaling     []scalingRow `json:"scaling,omitempty"`
+	ScalingNote string       `json:"scaling_note,omitempty"`
 }
 
 type row struct {
@@ -41,6 +55,16 @@ type row struct {
 	PerPacketMpps float64 `json:"per_packet_mpps"`
 	BatchedMpps   float64 `json:"batched_mpps"`
 	Speedup       float64 `json:"speedup"`
+	// GOMAXPROCS actually in effect while this row was measured.
+	GOMAXPROCS int `json:"gomaxprocs"`
+}
+
+type scalingRow struct {
+	Shards           int     `json:"shards"`
+	GOMAXPROCS       int     `json:"gomaxprocs"`
+	MeasuredMpps     float64 `json:"measured_mpps"`
+	CriticalPathMpps float64 `json:"critical_path_mpps"`
+	Speedup          float64 `json:"speedup"`
 }
 
 func main() {
@@ -48,6 +72,9 @@ func main() {
 	batch := flag.Int("batch", engine.DefaultBatchSize, "engine batch size for the batched runs")
 	packets := flag.Int("packets", 0, "packets per timed run (0 = experiment default)")
 	seed := flag.Int64("seed", 1, "trace and rule-set seed")
+	scaling := flag.Bool("scaling", false, "also measure the 1/2/4/8-shard scaling curve")
+	check := flag.String("check", "", "baseline file to compare against instead of writing one")
+	tolerance := flag.Float64("tolerance", 0.25, "relative batched-Mpps regression allowed by -check")
 	flag.Parse()
 
 	ctx := experiments.DefaultContext()
@@ -55,6 +82,15 @@ func main() {
 	if *packets > 0 {
 		ctx.Packets = *packets
 	}
+
+	if *check != "" {
+		if err := checkBaseline(*check, ctx, *batch, *tolerance); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	rows, err := experiments.Serve(ctx, *batch)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -62,14 +98,16 @@ func main() {
 	}
 
 	b := baseline{
-		Benchmark:  "serve-fast-path",
-		Generated:  time.Now().UTC().Format(time.RFC3339),
-		GoVersion:  runtime.Version(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		RuleSet:    "ACL1K",
-		Rules:      experiments.ServeRuleSize,
-		Packets:    ctx.Packets,
-		BatchSize:  *batch,
+		Benchmark:   "serve-fast-path",
+		Generated:   time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		CPU:         cpuModel(),
+		RuleSet:     "ACL1K",
+		Rules:       experiments.ServeRuleSize,
+		RuleSetSeed: *seed,
+		Packets:     ctx.Packets,
+		BatchSize:   *batch,
 	}
 	for _, r := range rows {
 		b.Rows = append(b.Rows, row{
@@ -77,7 +115,28 @@ func main() {
 			PerPacketMpps: round2(r.PerPacketMpps),
 			BatchedMpps:   round2(r.BatchedMpps),
 			Speedup:       round2(r.Speedup),
+			GOMAXPROCS:    runtime.GOMAXPROCS(0),
 		})
+	}
+	if *scaling {
+		b.Benchmark = "serve-scaling"
+		curve, err := experiments.ServeScaling(ctx, *batch, []int{1, 2, 4, 8})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		for _, r := range curve {
+			b.Scaling = append(b.Scaling, scalingRow{
+				Shards:           r.Shards,
+				GOMAXPROCS:       r.Gomaxprocs,
+				MeasuredMpps:     round2(r.MeasuredMpps),
+				CriticalPathMpps: round2(r.CriticalPathMpps),
+				Speedup:          round2(r.Speedup),
+			})
+		}
+		b.ScalingNote = "critical_path_mpps projects one core per shard (packets / busiest " +
+			"shard's classification time); measured_mpps is wall-clock on this host and is " +
+			"bounded by gomaxprocs, so on few cores the projection is the scaling signal"
 	}
 
 	enc, err := json.MarshalIndent(b, "", "  ")
@@ -94,7 +153,74 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("wrote %s (%d algorithms, batch=%d)\n", *out, len(b.Rows), *batch)
+	fmt.Printf("wrote %s (%d algorithms, batch=%d, %d scaling rows)\n",
+		*out, len(b.Rows), *batch, len(b.Scaling))
+}
+
+// checkBaseline re-measures the serve comparison and fails if any
+// algorithm's batched throughput dropped more than tol relative to the
+// baseline file. Only downward moves fail: these runs share a host with
+// CI noise, so the gate is one-sided.
+func checkBaseline(path string, ctx experiments.Context, batch int, tol float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parsing %s: %w", path, err)
+	}
+	if base.BatchSize != 0 {
+		batch = base.BatchSize
+	}
+	if base.Packets != 0 {
+		ctx.Packets = base.Packets
+	}
+	if base.RuleSetSeed != 0 {
+		ctx.Seed = base.RuleSetSeed
+	}
+	rows, err := experiments.Serve(ctx, batch)
+	if err != nil {
+		return err
+	}
+	var failures []string
+	for _, want := range base.Rows {
+		for _, got := range rows {
+			if got.Algo != want.Algo || want.BatchedMpps == 0 {
+				continue
+			}
+			ratio := got.BatchedMpps / want.BatchedMpps
+			fmt.Printf("%-8s batched %.2f Mpps vs baseline %.2f (%.0f%%)\n",
+				got.Algo, got.BatchedMpps, want.BatchedMpps, ratio*100)
+			if ratio < 1-tol {
+				failures = append(failures,
+					fmt.Sprintf("%s batched %.2f Mpps < %.2f baseline - %.0f%% tolerance",
+						got.Algo, got.BatchedMpps, want.BatchedMpps, tol*100))
+			}
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("throughput regressed vs %s:\n  %s", path, strings.Join(failures, "\n  "))
+	}
+	fmt.Printf("ok: no algorithm regressed more than %.0f%% vs %s\n", tol*100, path)
+	return nil
+}
+
+// cpuModel best-effort reads the host CPU model so baselines from
+// different machines are distinguishable. Empty when unavailable.
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			if _, v, ok := strings.Cut(name, ":"); ok {
+				return strings.TrimSpace(v)
+			}
+		}
+	}
+	return ""
 }
 
 // round2 keeps the checked-in baseline diffable: two decimals carry all

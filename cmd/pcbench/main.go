@@ -7,7 +7,7 @@
 //	pcbench -experiment fig6,fig9 -packets 50000
 //
 // Experiments: fig6 fig7 fig8 fig9 tab2 tab4 tab5
-// stride habs popcount binth sharing extended ladder serve all
+// stride habs popcount binth sharing extended ladder serve scaling all
 //
 // The ladder experiment walks every rule set (standard + pathological)
 // through the degradation ladder given by -ladder under the build budget
@@ -16,7 +16,9 @@
 //
 // The serve experiment measures engine throughput per-packet versus
 // batched (-batch sets the batch size) on the 1k-rule ACL set; it is the
-// driver behind the tracked BENCH_PR3.json baseline. -cpuprofile and
+// driver behind the tracked BENCH_PR3.json baseline. The scaling
+// experiment measures the flow-affinity sharded engine across -shards
+// shard counts (the BENCH_PR4.json curve). -cpuprofile and
 // -memprofile write pprof profiles covering the selected experiments.
 package main
 
@@ -35,7 +37,7 @@ import (
 
 func main() {
 	var (
-		which    = flag.String("experiment", "all", "comma-separated experiment list (fig6 fig7 fig8 fig9 tab2 tab4 tab5 stride habs popcount binth sharing extended ladder serve all)")
+		which    = flag.String("experiment", "all", "comma-separated experiment list (fig6 fig7 fig8 fig9 tab2 tab4 tab5 stride habs popcount binth sharing extended ladder serve scaling all)")
 		packets  = flag.Int("packets", 25000, "packets per simulation")
 		traceLen = flag.Int("trace", 2000, "distinct headers per trace")
 		seed     = flag.Int64("seed", 1, "trace seed")
@@ -45,7 +47,8 @@ func main() {
 		buildMaxNodes = flag.Int("build-maxnodes", 0, "ladder: node/table-row budget per build attempt (0 = unlimited)")
 		ladderNames   = flag.String("ladder", "expcuts,hicuts,hsm,linear", "ladder: degradation rungs, best first")
 
-		batch      = flag.Int("batch", 0, "serve: engine batch size (0 = engine default)")
+		batch      = flag.Int("batch", 0, "serve/scaling: engine batch size (0 = engine default)")
+		shardList  = flag.String("shards", "1,2,4,8", "scaling: comma-separated shard counts")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile covering the selected experiments")
 		memProfile = flag.String("memprofile", "", "write a heap profile after the selected experiments")
 	)
@@ -157,6 +160,17 @@ func main() {
 			}
 			return experiments.RenderServe(rows, *batch), nil
 		}},
+		{"scaling", func() (string, error) {
+			counts, err := parseShardCounts(*shardList)
+			if err != nil {
+				return "", err
+			}
+			rows, err := experiments.ServeScaling(ctx, *batch, counts)
+			if err != nil {
+				return "", err
+			}
+			return experiments.RenderScaling(rows, *batch), nil
+		}},
 	}
 
 	want := map[string]bool{}
@@ -184,4 +198,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pcbench: no experiment matched %q\n", *which)
 		os.Exit(2)
 	}
+}
+
+// parseShardCounts parses the -shards list ("1,2,4,8").
+func parseShardCounts(s string) ([]int, error) {
+	var counts []int
+	for _, part := range strings.Split(s, ",") {
+		var n int
+		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &n); err != nil || n < 1 {
+			return nil, fmt.Errorf("invalid shard count %q", part)
+		}
+		counts = append(counts, n)
+	}
+	return counts, nil
 }

@@ -11,6 +11,10 @@
 // With -workers > 0 the trace runs through the hardened parallel engine:
 // classifier panics are contained per-packet, -timeout bounds the whole
 // run, and -overload picks back-pressure vs. tail-drop under load.
+// -shards and -flowcache also route through the engine, serving the
+// trace on flow-affinity shards (packets of a flow stay on one shard,
+// each with a private flow cache); -build-workers parallelizes
+// expcuts/hicuts tree construction under the same build budget.
 //
 // Builds are resource-governed: -build-timeout and -build-maxnodes set a
 // buildgov budget, so a hostile rule set aborts with a typed error
@@ -68,6 +72,8 @@ func main() {
 		algo      = flag.String("algo", "expcuts", "expcuts, hicuts, hypercuts, hsm, rfc, linear")
 		verify    = flag.Bool("verify", false, "cross-check every result against linear search")
 		workers   = flag.Int("workers", 0, "classify through the parallel engine with this many workers (0 = sequential)")
+		shards    = flag.Int("shards", 0, "engine: flow-affinity serving shards (0 = GOMAXPROCS when the engine runs; implies the engine)")
+		flowCache = flag.Int("flowcache", 0, "engine: per-shard flow-cache capacity in flows (0 = off; implies the engine)")
 		queue     = flag.Int("queue", 0, "engine dispatch ring depth (default 256)")
 		unordered = flag.Bool("unordered", false, "engine: emit results in completion order instead of arrival order")
 		overload  = flag.String("overload", "block", "engine overload policy: block (back-pressure) or shed (tail-drop)")
@@ -75,6 +81,7 @@ func main() {
 
 		buildTimeout  = flag.Duration("build-timeout", 0, "build budget: wall-clock bound (0 = none)")
 		buildMaxNodes = flag.Int("build-maxnodes", 0, "build budget: node/table-row bound (0 = none)")
+		buildWorkers  = flag.Int("build-workers", 0, "parallel subtree construction workers for expcuts/hicuts (0/1 = sequential)")
 		ladderNames   = flag.String("ladder", "", "build through this degradation ladder (comma-separated rungs, best first) instead of -algo")
 
 		batch      = flag.Int("batch", 0, "batch size: engine dispatch granularity with -workers, ClassifyBatch chunking when sequential (0 = default/per-packet)")
@@ -101,7 +108,7 @@ func main() {
 	if *ladderNames != "" {
 		cl, err = buildLadder(strings.Split(*ladderNames, ","), rs, budget)
 	} else {
-		cl, err = build(*algo, rs, budget)
+		cl, err = build(*algo, rs, budget, *buildWorkers)
 	}
 	if err != nil {
 		fatal(err)
@@ -154,13 +161,16 @@ func main() {
 
 	var engineStats engine.Stats
 	var engineErr error
+	useEngine := *workers > 0 || *shards > 0 || *flowCache > 0
 	start = time.Now()
-	if *workers > 0 {
+	if useEngine {
 		ecfg := engine.Config{
-			Workers:       *workers,
-			QueueDepth:    *queue,
-			PreserveOrder: !*unordered,
-			BatchSize:     *batch,
+			Workers:        *workers,
+			Shards:         *shards,
+			FlowCacheFlows: *flowCache,
+			QueueDepth:     *queue,
+			PreserveOrder:  !*unordered,
+			BatchSize:      *batch,
 		}
 		switch *overload {
 		case "block":
@@ -209,9 +219,14 @@ func main() {
 	fmt.Printf("packets       %d in %v (%.2f Mpkt/s native Go)\n",
 		len(headers), classifyTime.Round(time.Millisecond),
 		float64(len(headers))/classifyTime.Seconds()/1e6)
-	if *workers > 0 {
-		fmt.Printf("engine        %d workers, %s overload, order %v\n",
-			*workers, *overload, !*unordered)
+	if useEngine {
+		if engineStats.Shards > 1 || *flowCache > 0 {
+			fmt.Printf("engine        %d flow-affinity shards (flow cache %d flows/shard), %s overload, order %v\n",
+				engineStats.Shards, *flowCache, *overload, !*unordered)
+		} else {
+			fmt.Printf("engine        %d workers, %s overload, order %v\n",
+				*workers, *overload, !*unordered)
+		}
 		fmt.Printf("  classified %d  shed %d  panics %d  canceled %d  max-reorder %d\n",
 			engineStats.Packets, engineStats.Shed, engineStats.Panics,
 			engineStats.Canceled, engineStats.MaxReorder)
@@ -297,13 +312,13 @@ func loadTrace(rs *rules.RuleSet, file string, gen int, seed int64) ([]rules.Hea
 	return out, nil
 }
 
-func build(algo string, rs *rules.RuleSet, budget *buildgov.Budget) (classifier, error) {
+func build(algo string, rs *rules.RuleSet, budget *buildgov.Budget, buildWorkers int) (classifier, error) {
 	ctx := context.Background()
 	switch algo {
 	case "expcuts":
-		return expcuts.NewCtx(ctx, rs, expcuts.Config{}, budget)
+		return expcuts.NewCtx(ctx, rs, expcuts.Config{BuildWorkers: buildWorkers}, budget)
 	case "hicuts":
-		return hicuts.NewCtx(ctx, rs, hicuts.Config{}, budget)
+		return hicuts.NewCtx(ctx, rs, hicuts.Config{BuildWorkers: buildWorkers}, budget)
 	case "hypercuts":
 		return hypercuts.NewCtx(ctx, rs, hypercuts.Config{}, budget)
 	case "hsm":

@@ -20,6 +20,14 @@
 // node / table row, a tripped build aborts within a bounded amount of
 // additional work, not at some unbounded future point.
 //
+// A Governor is safe for concurrent use: the parallel subtree builders
+// (expcuts, hicuts) share one governor across their worker pool, so the
+// budget bounds the build's *total* consumption, not per-worker slices.
+// Charges are atomic — nothing is lost or double-counted under
+// concurrency — and the first trip is sticky for every worker, which is
+// what unwinds a fanned-out build promptly when any one worker crosses a
+// limit.
+//
 // Byte accounting is an estimate, not an os-level cap: builders charge
 // the sizes of the structures they allocate (see each builder's
 // estimatedNodeBytes accounting and DESIGN.md for how node counts map to
@@ -32,6 +40,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 )
 
@@ -107,30 +116,35 @@ func (e *BudgetError) Unwrap() []error {
 
 // checkStride is how many Check calls may pass between wall-clock /
 // context polls. Builders call Check at least once per node or table
-// cell, so a tripped deadline is noticed within 8 units of per-node work.
-// The stride is deliberately small: a time.Now/ctx.Err pair costs ~100ns
-// while a node's worth of build work costs microseconds to milliseconds,
-// and the robustness suite asserts cancellation within 2x the deadline
-// even under the race detector's ~10x slowdown.
+// cell, so a tripped deadline is noticed within 8 units of per-node work
+// per worker. The stride is deliberately small: a time.Now/ctx.Err pair
+// costs ~100ns while a node's worth of build work costs microseconds to
+// milliseconds, and the robustness suite asserts cancellation within 2x
+// the deadline even under the race detector's ~10x slowdown.
 const checkStride = 8
 
-// Governor meters one build against a Budget. It is used from the single
-// goroutine running the build (builders are sequential); it is not safe
-// for concurrent use. All methods are nil-receiver safe and then do
+// Governor meters one build against a Budget. It is safe for concurrent
+// use: a parallel build's workers share one governor, so the budget is
+// charged exactly across all of them (atomic counters, no lost or
+// double-counted charges). All methods are nil-receiver safe and then do
 // nothing, so ungoverned entry points pass nil straight through.
 //
 // Once any limit trips the error is sticky: every later Check/charge call
-// returns the same *BudgetError, so deep recursion unwinds promptly even
-// if intermediate frames ignore one error.
+// — from any goroutine — returns the same *BudgetError, so a fanned-out
+// build unwinds all of its workers promptly even if intermediate frames
+// ignore one error.
 type Governor struct {
 	ctx      context.Context
 	budget   Budget
 	start    time.Time
 	deadline time.Time // zero when unbounded
 	ctxOwned bool      // deadline was adopted from ctx, not the budget
-	stats    Stats
-	ticks    uint
-	err      *BudgetError
+
+	nodes       atomic.Int64
+	heapBytes   atomic.Int64
+	memoEntries atomic.Int64
+	ticks       atomic.Uint64
+	err         atomic.Pointer[BudgetError]
 }
 
 // Start begins metering a build. A nil budget yields a governor that only
@@ -153,16 +167,17 @@ func Start(ctx context.Context, b *Budget) *Governor {
 }
 
 // Check polls cancellation and the wall-clock deadline (amortized: the
-// expensive time/context reads run every checkStride calls, and always on
-// the first). Builders call it at the top of every build loop iteration.
+// expensive time/context reads run every checkStride calls per governor,
+// and always on the first). Builders call it at the top of every build
+// loop iteration.
 func (g *Governor) Check() error {
 	if g == nil {
 		return nil
 	}
-	if g.err != nil {
-		return g.err
+	if e := g.err.Load(); e != nil {
+		return e
 	}
-	if g.ticks%checkStride == 0 {
+	if t := g.ticks.Add(1); (t-1)%checkStride == 0 {
 		if err := g.ctx.Err(); err != nil {
 			return g.trip("canceled", err)
 		}
@@ -177,7 +192,6 @@ func (g *Governor) Check() error {
 			return g.trip("deadline", cause)
 		}
 	}
-	g.ticks++
 	return nil
 }
 
@@ -190,12 +204,12 @@ func (g *Governor) Nodes(n int, estBytes int64) error {
 	if err := g.Check(); err != nil {
 		return err
 	}
-	g.stats.Nodes += n
-	g.stats.HeapBytes += estBytes
-	if g.budget.MaxNodes > 0 && g.stats.Nodes > g.budget.MaxNodes {
+	nodes := g.nodes.Add(int64(n))
+	heap := g.heapBytes.Add(estBytes)
+	if g.budget.MaxNodes > 0 && nodes > int64(g.budget.MaxNodes) {
 		return g.trip("nodes", nil)
 	}
-	return g.checkBytes()
+	return g.checkBytes(heap)
 }
 
 // Memo charges n memoization entries plus their estimated key bytes.
@@ -206,12 +220,12 @@ func (g *Governor) Memo(n int, estBytes int64) error {
 	if err := g.Check(); err != nil {
 		return err
 	}
-	g.stats.MemoEntries += n
-	g.stats.HeapBytes += estBytes
-	if g.budget.MaxMemoEntries > 0 && g.stats.MemoEntries > g.budget.MaxMemoEntries {
+	memo := g.memoEntries.Add(int64(n))
+	heap := g.heapBytes.Add(estBytes)
+	if g.budget.MaxMemoEntries > 0 && memo > int64(g.budget.MaxMemoEntries) {
 		return g.trip("memo-entries", nil)
 	}
-	return g.checkBytes()
+	return g.checkBytes(heap)
 }
 
 // Bytes charges estimated heap bytes (e.g. a cross-product table about to
@@ -224,12 +238,11 @@ func (g *Governor) Bytes(n int64) error {
 	if err := g.Check(); err != nil {
 		return err
 	}
-	g.stats.HeapBytes += n
-	return g.checkBytes()
+	return g.checkBytes(g.heapBytes.Add(n))
 }
 
-func (g *Governor) checkBytes() error {
-	if g.budget.MaxHeapBytes > 0 && g.stats.HeapBytes > g.budget.MaxHeapBytes {
+func (g *Governor) checkBytes(heap int64) error {
+	if g.budget.MaxHeapBytes > 0 && heap > g.budget.MaxHeapBytes {
 		return g.trip("heap-bytes", nil)
 	}
 	return nil
@@ -238,23 +251,37 @@ func (g *Governor) checkBytes() error {
 // Err returns the sticky budget error, or nil while the build is within
 // budget.
 func (g *Governor) Err() error {
-	if g == nil || g.err == nil {
+	if g == nil {
 		return nil
 	}
-	return g.err
+	if e := g.err.Load(); e != nil {
+		return e
+	}
+	return nil
 }
 
-// Stats snapshots consumption so far.
+// Stats snapshots consumption so far. Under concurrency the three
+// counters are read independently (each is exact; the triple is not a
+// single atomic snapshot, which only matters to sub-microsecond races in
+// log output).
 func (g *Governor) Stats() Stats {
 	if g == nil {
 		return Stats{}
 	}
-	s := g.stats
-	s.Elapsed = time.Since(g.start)
-	return s
+	return Stats{
+		Nodes:       int(g.nodes.Load()),
+		HeapBytes:   g.heapBytes.Load(),
+		MemoEntries: int(g.memoEntries.Load()),
+		Elapsed:     time.Since(g.start),
+	}
 }
 
+// trip installs the sticky error. Concurrent trips race benignly: the
+// first CompareAndSwap wins and every caller — including the losers —
+// returns the single winning *BudgetError, preserving the "same sticky
+// error from every method" contract across goroutines.
 func (g *Governor) trip(limit string, cause error) error {
-	g.err = &BudgetError{Limit: limit, Stats: g.Stats(), Cause: cause}
-	return g.err
+	e := &BudgetError{Limit: limit, Stats: g.Stats(), Cause: cause}
+	g.err.CompareAndSwap(nil, e)
+	return g.err.Load()
 }

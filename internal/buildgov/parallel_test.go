@@ -1,0 +1,144 @@
+package buildgov
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentChargesAreExact hammers one governor from many goroutines
+// and checks that no charge is lost or double-counted: the final stats
+// must equal the arithmetic sum of everything the workers charged.
+// (Run under -race this also proves the Governor is data-race free.)
+func TestConcurrentChargesAreExact(t *testing.T) {
+	const workers = 8
+	const perWorker = 5000
+
+	g := Start(context.Background(), &Budget{}) // unlimited: nothing trips
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if err := g.Nodes(1, 16); err != nil {
+					t.Errorf("unexpected trip: %v", err)
+					return
+				}
+				if i%3 == 0 {
+					if err := g.Memo(2, 8); err != nil {
+						t.Errorf("unexpected trip: %v", err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	st := g.Stats()
+	wantNodes := workers * perWorker
+	wantMemo := workers * ((perWorker + 2) / 3) * 2
+	wantBytes := int64(workers) * (perWorker*16 + int64((perWorker+2)/3)*8)
+	if st.Nodes != wantNodes {
+		t.Errorf("Nodes = %d, want %d (lost or double-counted charges)", st.Nodes, wantNodes)
+	}
+	if st.MemoEntries != wantMemo {
+		t.Errorf("MemoEntries = %d, want %d", st.MemoEntries, wantMemo)
+	}
+	if st.HeapBytes != wantBytes {
+		t.Errorf("HeapBytes = %d, want %d", st.HeapBytes, wantBytes)
+	}
+}
+
+// TestConcurrentTripIsSharedAndSticky trips a shared governor from one
+// of many workers and checks every worker unwinds with the *same*
+// *BudgetError pointer — the contract the parallel builders rely on to
+// stop their whole pool after the first violation.
+func TestConcurrentTripIsSharedAndSticky(t *testing.T) {
+	const workers = 8
+	g := Start(context.Background(), &Budget{MaxNodes: 100})
+
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				if err := g.Nodes(1, 1); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var first *BudgetError
+	for w, err := range errs {
+		if err == nil {
+			t.Fatalf("worker %d never tripped", w)
+		}
+		var be *BudgetError
+		if !errors.As(err, &be) {
+			t.Fatalf("worker %d: error %T is not a *BudgetError", w, err)
+		}
+		if first == nil {
+			first = be
+		} else if be != first {
+			t.Errorf("worker %d received a different BudgetError pointer (not sticky across goroutines)", w)
+		}
+	}
+	if first.Limit != "nodes" {
+		t.Errorf("Limit = %q, want %q", first.Limit, "nodes")
+	}
+	// Total consumption at trip must be exact: every successful Nodes call
+	// added exactly 1, and the final (tripping) charges are included. With
+	// the charge-then-check protocol the count can overshoot MaxNodes by at
+	// most one in-flight charge per worker, never more.
+	if got := g.Stats().Nodes; got <= 100 || got > 100+workers {
+		t.Errorf("Nodes at trip = %d, want in (100, %d]", got, 100+workers)
+	}
+	if err := g.Check(); err != error(first) {
+		t.Errorf("Check after concurrent trip returned %v, want the sticky error", err)
+	}
+}
+
+// TestConcurrentDeadlineUnwindsAllWorkers checks that a wall-clock trip
+// reaches every worker of a shared governor quickly (the 2x-deadline
+// guarantee must hold for fanned-out builds, not just sequential ones).
+func TestConcurrentDeadlineUnwindsAllWorkers(t *testing.T) {
+	const workers = 4
+	timeout := 50 * time.Millisecond
+	g := Start(context.Background(), &Budget{Timeout: timeout})
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	unwound := make([]time.Duration, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				if err := g.Check(); err != nil {
+					if !errors.Is(err, ErrBudgetExceeded) {
+						t.Errorf("worker %d: %v does not wrap ErrBudgetExceeded", w, err)
+					}
+					unwound[w] = time.Since(start)
+					return
+				}
+				time.Sleep(100 * time.Microsecond) // a "node" of work
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	for w, d := range unwound {
+		if d > 2*timeout {
+			t.Errorf("worker %d unwound after %v, want <= 2x the %v deadline", w, d, timeout)
+		}
+	}
+}

@@ -1,0 +1,232 @@
+package conformance
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/expcuts"
+	"repro/internal/faultinject"
+	"repro/internal/hicuts"
+	"repro/internal/hsm"
+	"repro/internal/hypercuts"
+	"repro/internal/linear"
+	"repro/internal/pktgen"
+	"repro/internal/rfc"
+	"repro/internal/rulegen"
+	"repro/internal/rules"
+	"repro/internal/update"
+)
+
+// shardVariants are the seven algorithm variants the sharded-serving
+// dimension of the matrix covers: one representative configuration per
+// algorithm family plus the two ExpCuts strides.
+var shardVariants = []struct {
+	name  string
+	build func(rs *rules.RuleSet) (engine.Classifier, error)
+}{
+	{"expcuts-w8", func(rs *rules.RuleSet) (engine.Classifier, error) {
+		return expcuts.New(rs, expcuts.Config{})
+	}},
+	{"expcuts-w4", func(rs *rules.RuleSet) (engine.Classifier, error) {
+		return expcuts.New(rs, expcuts.Config{StrideW: 4})
+	}},
+	{"hicuts", func(rs *rules.RuleSet) (engine.Classifier, error) {
+		return hicuts.New(rs, hicuts.Config{})
+	}},
+	{"hypercuts", func(rs *rules.RuleSet) (engine.Classifier, error) {
+		return hypercuts.New(rs, hypercuts.Config{})
+	}},
+	{"hsm", func(rs *rules.RuleSet) (engine.Classifier, error) {
+		return hsm.New(rs, hsm.Config{})
+	}},
+	{"rfc", func(rs *rules.RuleSet) (engine.Classifier, error) {
+		return rfc.New(rs, rfc.Config{})
+	}},
+	{"linear", func(rs *rules.RuleSet) (engine.Classifier, error) {
+		return linear.New(rs), nil
+	}},
+}
+
+// serveMatches runs cl through the engine and returns the per-sequence
+// matches (-1 entries for packets that failed), asserting ordered
+// emission and exact accounting along the way.
+func serveMatches(t *testing.T, cl engine.Classifier, cfg engine.Config, headers []rules.Header, wantErr bool) []int {
+	t.Helper()
+	got := make([]int, len(headers))
+	for i := range got {
+		got[i] = -2 // sentinel: never emitted
+	}
+	failed := 0
+	st, err := engine.Run(cl, cfg, headers, func(r engine.Result) {
+		if got[r.Seq] != -2 {
+			t.Fatalf("seq %d emitted twice", r.Seq)
+		}
+		if r.Err != nil {
+			failed++
+			got[r.Seq] = -1
+			return
+		}
+		got[r.Seq] = r.Match
+	})
+	if wantErr {
+		if err == nil {
+			t.Fatal("expected a run error from injected faults")
+		}
+	} else if err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range got {
+		if m == -2 {
+			t.Fatalf("seq %d never emitted", i)
+		}
+	}
+	if st.Panics != failed {
+		t.Fatalf("Stats.Panics = %d but %d failed results emitted", st.Panics, failed)
+	}
+	if st.Packets+st.Shed+st.Canceled+st.Panics != len(headers) {
+		t.Fatalf("accounting: packets %d + shed %d + canceled %d + panics %d != %d",
+			st.Packets, st.Shed, st.Canceled, st.Panics, len(headers))
+	}
+	return got
+}
+
+// TestShardedServingMatrix: sharded serving output (any shard count) ==
+// 1-shard output == oracle, for all seven algorithm variants.
+func TestShardedServingMatrix(t *testing.T) {
+	rs, err := rulegen.Generate(rulegen.Config{Kind: rulegen.Firewall, Size: 150, Seed: 2101})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := pktgen.Generate(rs, pktgen.Config{Count: 3000, Seed: 2102, MatchFraction: 0.85})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := make([]int, len(tr.Headers))
+	for i, h := range tr.Headers {
+		oracle[i] = rs.Match(h)
+	}
+	for _, v := range shardVariants {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			cl, err := v.build(rs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			base := serveMatches(t, cl,
+				engine.Config{Shards: 1, PreserveOrder: true}, tr.Headers, false)
+			for i, m := range base {
+				if m != oracle[i] {
+					t.Fatalf("1-shard seq %d: match %d, oracle %d", i, m, oracle[i])
+				}
+			}
+			for _, shards := range []int{2, 5} {
+				sharded := serveMatches(t, cl,
+					engine.Config{Shards: shards, PreserveOrder: true}, tr.Headers, false)
+				for i, m := range sharded {
+					if m != base[i] {
+						t.Fatalf("shards=%d seq %d: match %d, 1-shard %d", shards, i, m, base[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestShardedServingUnderPanics: with panics injected across shards,
+// non-failed packets must still match the oracle for every variant, and
+// failed + classified must cover the trace.
+func TestShardedServingUnderPanics(t *testing.T) {
+	rs, err := rulegen.Generate(rulegen.Config{Kind: rulegen.CoreRouter, Size: 200, Seed: 2111})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := pktgen.Generate(rs, pktgen.Config{Count: 2000, Seed: 2112, MatchFraction: 0.85})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range shardVariants {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			cl, err := v.build(rs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			panicky := &faultinject.PanickyClassifier{Inner: cl, EveryN: 131}
+			got := serveMatches(t, panicky,
+				engine.Config{Shards: 4, PreserveOrder: true}, tr.Headers, true)
+			failed := 0
+			for i, m := range got {
+				if m == -1 {
+					failed++
+					continue
+				}
+				if want := rs.Match(tr.Headers[i]); m != want {
+					t.Fatalf("seq %d: match %d under panics, oracle %d", i, m, want)
+				}
+			}
+			if failed == 0 {
+				t.Fatal("injector fired no panics over 2000 packets")
+			}
+		})
+	}
+}
+
+// TestShardedServingUnderHotSwaps serves through an update.Manager while
+// semantically neutral swaps land mid-stream, across shard counts and
+// with per-shard flow caches enabled: every emitted match must equal the
+// oracle regardless of which generation served it.
+func TestShardedServingUnderHotSwaps(t *testing.T) {
+	rs, err := rulegen.Generate(rulegen.Config{Kind: rulegen.Firewall, Size: 120, Seed: 2121})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := pktgen.Generate(rs, pktgen.Config{Count: 2500, Seed: 2122, MatchFraction: 0.85})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 4} {
+		shards := shards
+		t.Run(fmt.Sprintf("shards-%d", shards), func(t *testing.T) {
+			mgr, err := update.NewManagerConfig(rs,
+				func(rs *rules.RuleSet) (update.Classifier, error) {
+					return expcuts.New(rs, expcuts.Config{})
+				},
+				update.Config{ValidateSamples: -1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			stop := make(chan struct{})
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				dup := rs.Rules[0]
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if err := mgr.Apply([]update.Op{update.InsertAt(rs.Len(), dup)}); err != nil {
+						t.Errorf("insert: %v", err)
+						return
+					}
+					if err := mgr.Apply([]update.Op{update.DeleteAt(rs.Len())}); err != nil {
+						t.Errorf("delete: %v", err)
+						return
+					}
+				}
+			}()
+			got := serveMatches(t, mgr,
+				engine.Config{Shards: shards, FlowCacheFlows: 128, PreserveOrder: true},
+				tr.Headers, false)
+			close(stop)
+			<-done
+			for i, m := range got {
+				if want := rs.Match(tr.Headers[i]); m != want {
+					t.Fatalf("seq %d: match %d under swaps, oracle %d", i, m, want)
+				}
+			}
+		})
+	}
+}

@@ -166,7 +166,7 @@ func TestBatchShedAccounting(t *testing.T) {
 	slow := &faultinject.SlowClassifier{Inner: tree, EveryN: 1, Delay: 30 * time.Microsecond}
 	base := runtime.NumGoroutine()
 	shedSeen, okSeen := 0, 0
-	st, err := Run(slow, Config{Workers: 1, QueueDepth: 1, PreserveOrder: true, Overload: OverloadShed, BatchSize: 16},
+	st, err := Run(slow, Config{Workers: 1, Shards: 1, QueueDepth: 1, PreserveOrder: true, Overload: OverloadShed, BatchSize: 16},
 		headers, func(r Result) {
 			if errors.Is(r.Err, ErrShed) {
 				shedSeen++

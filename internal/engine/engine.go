@@ -25,9 +25,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/rules"
 )
@@ -107,6 +109,29 @@ type Config struct {
 	// granularity; ordering, accounting and panic attribution stay exact
 	// per packet.
 	BatchSize int
+	// Shards is the number of flow-affinity serving shards; 0 defaults to
+	// runtime.GOMAXPROCS(0). With more than one shard (or with a flow
+	// cache) the engine serves through its sharded path: packets are
+	// dispatched by a 5-tuple flow hash so every flow lands on one shard,
+	// each shard runs a private serving loop with private batch/result
+	// pools (no cross-core mutable sharing on the hot path), and a single
+	// cross-shard sequencer restores arrival order. Semantics — ordered
+	// emission, shed/cancel accounting, per-packet panic attribution —
+	// are identical to the unsharded path at any shard count; see
+	// shard.go. Workers is ignored in sharded mode (each shard is one
+	// serving loop, the way each microengine runs its own thread group).
+	Shards int
+	// FlowCacheFlows, when > 0, gives each shard a private exact-match
+	// flow cache (slab LRU, internal/flowcache) of this many flows in
+	// front of the classifier. Per-shard privacy means no cache
+	// synchronization and no cross-core cache-line bouncing; flow-hash
+	// dispatch guarantees all packets of a flow see the same shard's
+	// cache. When the classifier exposes rule-set generations
+	// (update.Manager), each shard invalidates its cache on generation
+	// change and guarantees no batch mixes results from two generations.
+	// 0 disables caching. Setting FlowCacheFlows forces the sharded path
+	// even at Shards == 1.
+	FlowCacheFlows int
 }
 
 // DefaultBatchSize is the packets-per-dispatch default. 64 packets is
@@ -147,6 +172,15 @@ func (c *Config) fillDefaults() error {
 	}
 	if c.Overload != OverloadBlock && c.Overload != OverloadShed {
 		return fmt.Errorf("engine: unknown overload policy %d", c.Overload)
+	}
+	if c.Shards == 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	if c.Shards < 1 {
+		return fmt.Errorf("engine: shards must be >= 1, got %d", c.Shards)
+	}
+	if c.FlowCacheFlows < 0 {
+		return fmt.Errorf("engine: flow cache flows must be >= 0, got %d", c.FlowCacheFlows)
 	}
 	return nil
 }
@@ -205,6 +239,15 @@ type Stats struct {
 	// classifiers that don't describe themselves.
 	Algorithm        string
 	DegradationLevel int
+	// Shards is how many flow-affinity shards served the run (1 when the
+	// legacy worker-pool path served it).
+	Shards int
+	// ShardBusy is each shard's cumulative classification busy time
+	// (sharded path only; nil otherwise). On a host with fewer cores than
+	// shards, packets/max(ShardBusy) is the critical-path throughput the
+	// shard layout would sustain with one core per shard — the projection
+	// cmd/benchjson reports alongside measured wall-clock numbers.
+	ShardBusy []time.Duration
 }
 
 // Errors is the total number of error results (shed + panicked + canceled).
@@ -232,6 +275,9 @@ func RunContext(ctx context.Context, cl Classifier, cfg Config, headers []rules.
 	if err := cfg.fillDefaults(); err != nil {
 		return Stats{}, err
 	}
+	if cfg.Shards > 1 || cfg.FlowCacheFlows > 0 {
+		return runSharded(ctx, cl, cfg, headers, emit)
+	}
 	// A job is one dispatched batch: the arrival sequence number of its
 	// first packet and a sub-slice of headers (no copy). One channel
 	// operation moves BatchSize packets.
@@ -252,7 +298,7 @@ func RunContext(ctx context.Context, cl Classifier, cfg Config, headers []rules.
 	bc, _ := cl.(BatchClassifier)
 
 	var wg sync.WaitGroup
-	var panics atomic.Int64
+	var panics, busyNanos atomic.Int64
 	for w := 0; w < cfg.Workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -263,6 +309,7 @@ func RunContext(ctx context.Context, cl Classifier, cfg Config, headers []rules.
 			if bc != nil {
 				matches = make([]int, cfg.BatchSize)
 			}
+			var busy time.Duration
 			for j := range jobs {
 				out := pool.Get().(*resultBatch)
 				out.rs = out.rs[:len(j.hs)]
@@ -273,10 +320,13 @@ func RunContext(ctx context.Context, cl Classifier, cfg Config, headers []rules.
 						out.rs[i] = Result{Seq: j.seq + uint64(i), Header: h, Match: -1, Err: err}
 					}
 				} else {
+					start := time.Now()
 					panics.Add(classifyBatch(cl, bc, j.seq, j.hs, out.rs, matches))
+					busy += time.Since(start)
 				}
 				results <- out
 			}
+			busyNanos.Add(int64(busy))
 		}()
 	}
 
@@ -318,33 +368,12 @@ func RunContext(ctx context.Context, cl Classifier, cfg Config, headers []rules.
 		close(results)
 	}()
 
-	st := Stats{}
+	st := Stats{Shards: 1}
 	if d, ok := cl.(Describer); ok {
 		st.Algorithm, st.DegradationLevel = d.DescribeAlgorithm()
 	}
-	var emitErr error
-	emitOne := func(r Result) {
-		switch {
-		case r.Err == nil:
-			st.Packets++
-		case errors.Is(r.Err, ErrShed):
-			st.Shed++
-		case isPanicErr(r.Err):
-			// counted via the panics atomic; tallied below
-		default:
-			st.Canceled++
-		}
-		if emitErr != nil {
-			return // emit already panicked once; never call it again
-		}
-		defer func() {
-			if p := recover(); p != nil {
-				st.EmitPanics++
-				emitErr = fmt.Errorf("engine: emit panicked on packet %d: %v", r.Seq, p)
-			}
-		}()
-		emit(r)
-	}
+	em := &emitter{st: &st, emit: emit}
+	emitOne := em.one
 
 	if cfg.PreserveOrder {
 		// Reorder stage: hold completed results until their predecessors
@@ -380,10 +409,14 @@ func RunContext(ctx context.Context, cl Classifier, cfg Config, headers []rules.
 	}
 	st.Panics = int(panics.Load())
 	st.Canceled += int(undispatched.Load())
+	// The unsharded pipeline is one logical shard: its busy entry is the
+	// summed classification time of all its workers, so the scaling
+	// experiment can compare busy-time across shard counts uniformly.
+	st.ShardBusy = []time.Duration{time.Duration(busyNanos.Load())}
 
 	switch {
-	case emitErr != nil:
-		return st, emitErr
+	case em.err != nil:
+		return st, em.err
 	case ctx.Err() != nil:
 		return st, fmt.Errorf("engine: run cut short, %d of %d packets canceled: %w",
 			st.Canceled, len(headers), ctx.Err())
@@ -394,9 +427,47 @@ func RunContext(ctx context.Context, cl Classifier, cfg Config, headers []rules.
 	return st, nil
 }
 
+// emitter serializes result delivery for both serving paths: it tallies
+// the per-outcome stats and contains an emit-callback panic (after which
+// emit is never called again, but results keep draining so no goroutine
+// leaks). It is used from the single emission goroutine only.
+type emitter struct {
+	st   *Stats
+	emit func(Result)
+	err  error
+}
+
+func (e *emitter) one(r Result) {
+	switch {
+	case r.Err == nil:
+		e.st.Packets++
+	case errors.Is(r.Err, ErrShed):
+		e.st.Shed++
+	case isPanicErr(r.Err):
+		// counted via the panics atomic by the serving path
+	default:
+		e.st.Canceled++
+	}
+	if e.err != nil {
+		return // emit already panicked once; never call it again
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			e.st.EmitPanics++
+			e.err = fmt.Errorf("engine: emit panicked on packet %d: %v", r.Seq, p)
+		}
+	}()
+	e.emit(r)
+}
+
 // resultBatch is one batch of results; instances cycle through a sync.Pool.
+// home, set by the sharded path, is the owning shard's pool so the
+// emission loop can recycle a batch back to the shard that produced it
+// (the unsharded path recycles into its single run-local pool and leaves
+// home nil).
 type resultBatch struct {
-	rs []Result
+	rs   []Result
+	home *sync.Pool
 }
 
 // classifyBatch fills rs with the results for one batch, returning how

@@ -117,7 +117,7 @@ func TestReorderBufferAbsorbsSkew(t *testing.T) {
 
 func TestSingleWorkerIsOrderedByConstruction(t *testing.T) {
 	_, tree, headers := fixtures(t, 2000)
-	st, err := Run(tree, Config{Workers: 1, PreserveOrder: true}, headers, func(Result) {})
+	st, err := Run(tree, Config{Workers: 1, Shards: 1, PreserveOrder: true}, headers, func(Result) {})
 	if err != nil {
 		t.Fatal(err)
 	}

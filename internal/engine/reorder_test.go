@@ -75,6 +75,66 @@ func TestReorderRingGrowth(t *testing.T) {
 	}
 }
 
+// TestReorderRingGrowAtWrapBoundaryWithSlotsInFlight pins the exact
+// power-of-two boundary of the grow trigger, in a window that has
+// already wrapped the array many times. With next = 1020 and capacity 8,
+// the live window [1020, 1028) wraps the mask (1020&7 = 4, 1027&7 = 3):
+// in-flight slots sit on both sides of the array seam, and a result at
+// exactly next+capacity must grow precisely once and re-index every
+// occupant to its new-mask slot. An off-by-one in the trigger (> for >=)
+// would overwrite the in-flight slot at 1020&7 with seq 1028; a re-index
+// by old position instead of seq&newMask would scatter the wrapped
+// occupants.
+func TestReorderRingGrowAtWrapBoundaryWithSlotsInFlight(t *testing.T) {
+	g := newReorderRing(4) // capacity 8
+	var advanced uint64
+	for s := uint64(0); s < 1020; s++ {
+		g.insert(Result{Seq: s})
+		g.drain(func(Result) { advanced++ })
+	}
+	if advanced != 1020 || g.next != 1020 || len(g.slots) != 8 {
+		t.Fatalf("setup: advanced %d, next %d, capacity %d", advanced, g.next, len(g.slots))
+	}
+	// In-flight slots on both sides of the wrap seam, window start absent.
+	for _, s := range []uint64{1021, 1023, 1027} {
+		g.insert(Result{Seq: s})
+	}
+	// Exactly next+capacity: the smallest seq that no longer fits. One
+	// doubling makes the window [1020, 1036) and every occupant must move
+	// to seq&15.
+	g.insert(Result{Seq: 1028})
+	if len(g.slots) != 16 {
+		t.Fatalf("capacity %d after boundary insert, want exactly 16", len(g.slots))
+	}
+	if g.held != 4 {
+		t.Fatalf("held = %d after boundary insert, want 4", g.held)
+	}
+	for _, s := range []uint64{1021, 1023, 1027, 1028} {
+		if !g.present[s&15] || g.slots[s&15].Seq != s {
+			t.Fatalf("seq %d not at its new-mask slot after grow", s)
+		}
+	}
+	if got := drainAll(g); len(got) != 0 {
+		t.Fatalf("drained %v with window start 1020 still missing", got)
+	}
+	// Backfill and confirm a gapless in-order drain of the whole window.
+	for _, s := range []uint64{1020, 1022, 1024, 1025, 1026} {
+		g.insert(Result{Seq: s})
+	}
+	got := drainAll(g)
+	if len(got) != 9 {
+		t.Fatalf("drained %d results, want 9: %v", len(got), got)
+	}
+	for i, s := range got {
+		if s != 1020+uint64(i) {
+			t.Fatalf("position %d: seq %d, want %d", i, s, 1020+uint64(i))
+		}
+	}
+	if g.held != 0 || g.next != 1029 {
+		t.Errorf("held %d next %d after full drain, want 0 and 1029", g.held, g.next)
+	}
+}
+
 // TestReorderRingRandomPermutations stress-drains random arrival orders:
 // emission must always be 0..n-1 regardless of arrival permutation.
 func TestReorderRingRandomPermutations(t *testing.T) {

@@ -165,7 +165,7 @@ func TestOverloadShedDropsAndCounts(t *testing.T) {
 	slow := &faultinject.SlowClassifier{Inner: tree, EveryN: 1, Delay: 50 * time.Microsecond}
 	base := runtime.NumGoroutine()
 	shedSeen := 0
-	st, err := Run(slow, Config{Workers: 1, QueueDepth: 1, PreserveOrder: true, Overload: OverloadShed},
+	st, err := Run(slow, Config{Workers: 1, Shards: 1, QueueDepth: 1, PreserveOrder: true, Overload: OverloadShed},
 		headers, func(r Result) {
 			if errors.Is(r.Err, ErrShed) {
 				if r.Match != -1 {
@@ -192,7 +192,7 @@ func TestOverloadShedDropsAndCounts(t *testing.T) {
 func TestOverloadBlockNeverSheds(t *testing.T) {
 	_, tree, headers := fixtures(t, 3000)
 	slow := &faultinject.SlowClassifier{Inner: tree, EveryN: 1, Delay: 10 * time.Microsecond}
-	st, err := Run(slow, Config{Workers: 1, QueueDepth: 1, PreserveOrder: true}, headers, func(r Result) {
+	st, err := Run(slow, Config{Workers: 1, Shards: 1, QueueDepth: 1, PreserveOrder: true}, headers, func(r Result) {
 		if r.Err != nil {
 			t.Fatalf("packet %d: unexpected error %v", r.Seq, r.Err)
 		}
@@ -236,7 +236,7 @@ func TestSingleWorkerPanicIsDeterministic(t *testing.T) {
 		t.Fatalf("clean baseline failed: %v %+v", err, st)
 	}
 	var failedSeq uint64
-	st, err = Run(cl, Config{Workers: 1, PreserveOrder: true}, headers, func(r Result) {
+	st, err = Run(cl, Config{Workers: 1, Shards: 1, PreserveOrder: true}, headers, func(r Result) {
 		if r.Err != nil {
 			failedSeq = r.Seq
 		}

@@ -1,0 +1,344 @@
+// Sharded serving: the engine's multi-core fast path. The paper's IXP2850
+// mapping gives every microengine its own thread group, local flow state
+// and a hardware hash unit that sprays packets across engines by 5-tuple;
+// this file is the commodity-core translation. A dispatcher hashes each
+// packet's flow onto one of cfg.Shards serving loops, so all packets of a
+// flow are classified by the same goroutine against that shard's private
+// flow cache and pools — the hot path shares no mutable state across
+// shards. Results converge on one emission goroutine whose sliding reorder
+// ring doubles as the cross-shard sequencer: per-shard FIFO order plus
+// sequence-numbered reordering reproduces exactly the ordered-emission,
+// shed/cancel-accounting and panic-attribution contracts of the unsharded
+// path.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/flowcache"
+	"repro/internal/rules"
+)
+
+// generationProvider is implemented by classifiers that version their
+// rule set (update.Manager). Shards poll it to invalidate their private
+// flow caches when a hot-swap lands, and to guarantee no batch mixes two
+// generations.
+type generationProvider interface {
+	Generation() uint64
+}
+
+// flowHash mixes the 5-tuple into 32 bits (splitmix64-style finalizer).
+// Packets of one flow always hash identically, which is what pins a flow
+// to a shard — the software stand-in for the NP's hardware hash unit.
+func flowHash(h rules.Header) uint32 {
+	x := uint64(h.SrcIP)<<32 | uint64(h.DstIP)
+	x ^= (uint64(h.SrcPort)<<24 | uint64(h.DstPort)<<8 | uint64(h.Proto)) * 0x9E3779B97F4A7C15
+	x ^= x >> 32
+	x *= 0xFF51AFD7ED558CCD
+	x ^= x >> 33
+	return uint32(x)
+}
+
+// shardOf maps a header to a shard index with a multiply-shift reduction
+// (no modulo on the per-packet path).
+func shardOf(h rules.Header, shards int) int {
+	return int(uint64(flowHash(h)) * uint64(shards) >> 32)
+}
+
+// shardJob is one dispatched batch for a shard. Unlike the unsharded
+// path's contiguous header sub-slices, a shard's packets are scattered
+// through the arrival order, so headers are copied into the job alongside
+// their per-packet sequence numbers. Jobs cycle through the owning
+// shard's pool.
+type shardJob struct {
+	seqs []uint64
+	hs   []rules.Header
+}
+
+// shard is one serving lane: a private job ring, private job/result pools
+// and an optional private flow cache, all touched only by the dispatcher
+// (job acquisition) and the shard's serve goroutine.
+type shard struct {
+	jobs    chan *shardJob
+	jobPool sync.Pool
+	resPool sync.Pool
+
+	cl    Classifier
+	bc    BatchClassifier
+	cache *flowcache.Cache
+	gen   generationProvider // non-nil only when cache != nil and cl versions itself
+
+	lastGen uint64
+	// busy accumulates classification time. Written only by the serve
+	// goroutine; published to the emission goroutine by the results-close
+	// happens-before edge.
+	busy time.Duration
+}
+
+// serve is the shard's loop: drain the job ring, classify each batch with
+// panic containment, deliver one resultBatch per job. It fails canceled
+// batches fast (the ring drains at cancellation speed, which is what
+// bounds dispatcher blocking under OverloadBlock) and never exits before
+// its ring closes, so delivery can never deadlock.
+func (s *shard) serve(ctx context.Context, results chan<- *resultBatch, panics *atomic.Int64) {
+	var matches []int
+	for j := range s.jobs {
+		out := s.resPool.Get().(*resultBatch)
+		out.home = &s.resPool
+		out.rs = out.rs[:len(j.hs)]
+		if err := ctx.Err(); err != nil {
+			for i, h := range j.hs {
+				out.rs[i] = Result{Seq: j.seqs[i], Header: h, Match: -1, Err: err}
+			}
+		} else {
+			if matches == nil && (s.bc != nil || s.cache != nil) {
+				matches = make([]int, cap(j.hs))
+			}
+			start := time.Now()
+			panics.Add(s.classifyJob(j, out.rs, matches))
+			s.busy += time.Since(start)
+		}
+		j.seqs, j.hs = j.seqs[:0], j.hs[:0]
+		s.jobPool.Put(j)
+		results <- out
+	}
+}
+
+// classifyJob fills rs for one batch. Without a cache it is the sharded
+// twin of classifyBatch. With a cache, batches are classified under a
+// generation-stability protocol: read the generation, invalidate the
+// cache if it moved since the last batch, classify, and re-read. If the
+// generation changed underneath the batch, the batch is re-run — so on
+// exit every result of the batch (cache hits and misses alike) is
+// attributable to the single observed generation, and no batch on any
+// shard ever straddles a hot-swap. Generations are monotonic, so equal
+// reads bracket the whole batch.
+func (s *shard) classifyJob(j *shardJob, rs []Result, matches []int) int64 {
+	if s.cache == nil {
+		return classifyBatchSeqs(s.cl, s.bc, j.seqs, j.hs, rs, matches)
+	}
+	for {
+		var gen uint64
+		if s.gen != nil {
+			gen = s.gen.Generation()
+			if gen != s.lastGen {
+				s.cache.Invalidate()
+				s.lastGen = gen
+			}
+		}
+		n := classifyBatchSeqs(s.cache, s.cache, j.seqs, j.hs, rs, matches)
+		if s.gen == nil || s.gen.Generation() == gen {
+			return n
+		}
+		// A swap landed mid-batch: results may mix generations. Rare —
+		// loop and redo the batch against the settled generation.
+	}
+}
+
+// classifyBatchSeqs is classifyBatch for scattered sequence numbers: the
+// batched fast path with per-packet panic re-attribution on fallback.
+func classifyBatchSeqs(cl Classifier, bc BatchClassifier, seqs []uint64, hs []rules.Header, rs []Result, matches []int) int64 {
+	if bc != nil && classifyBatchContained(bc, hs, matches[:len(hs)]) {
+		for i, h := range hs {
+			rs[i] = Result{Seq: seqs[i], Header: h, Match: matches[i]}
+		}
+		return 0
+	}
+	var panicked int64
+	for i, h := range hs {
+		r := classifyOne(cl, seqs[i], h)
+		if r.Err != nil {
+			panicked++
+		}
+		rs[i] = r
+	}
+	return panicked
+}
+
+// runSharded is RunContext's serving path for Shards > 1 or a non-zero
+// flow cache. Contracts are identical to the unsharded path; see the
+// package comment at the top of this file for the layout.
+func runSharded(ctx context.Context, cl Classifier, cfg Config, headers []rules.Header, emit func(Result)) (Stats, error) {
+	nShards := cfg.Shards
+	results := make(chan *resultBatch, cfg.QueueDepth)
+	bc, _ := cl.(BatchClassifier)
+
+	shards := make([]*shard, nShards)
+	var wg sync.WaitGroup
+	var panics atomic.Int64
+	for i := range shards {
+		s := &shard{jobs: make(chan *shardJob, cfg.QueueDepth), cl: cl, bc: bc}
+		s.jobPool.New = func() any {
+			return &shardJob{
+				seqs: make([]uint64, 0, cfg.BatchSize),
+				hs:   make([]rules.Header, 0, cfg.BatchSize),
+			}
+		}
+		s.resPool.New = func() any {
+			return &resultBatch{rs: make([]Result, 0, cfg.BatchSize)}
+		}
+		if cfg.FlowCacheFlows > 0 {
+			c, err := flowcache.New(cl, cfg.FlowCacheFlows)
+			if err != nil {
+				return Stats{}, err
+			}
+			s.cache = c
+			s.gen, _ = cl.(generationProvider)
+			if s.gen != nil {
+				s.lastGen = s.gen.Generation()
+			}
+		}
+		shards[i] = s
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.serve(ctx, results, &panics)
+		}()
+	}
+
+	// shedJob emits a whole pending batch as ErrShed markers through
+	// results, keeping the sequence space gap-free for the sequencer.
+	shedJob := func(s *shard, j *shardJob, err error) {
+		out := s.resPool.Get().(*resultBatch)
+		out.home = &s.resPool
+		out.rs = out.rs[:len(j.hs)]
+		for k, h := range j.hs {
+			out.rs[k] = Result{Seq: j.seqs[k], Header: h, Match: -1, Err: err}
+		}
+		j.seqs, j.hs = j.seqs[:0], j.hs[:0]
+		s.jobPool.Put(j)
+		results <- out
+	}
+
+	var undispatched atomic.Int64
+	go func() {
+		// Dispatcher: bin packets into per-shard pending batches by flow
+		// hash, flushing each batch when full. Cancellation is polled at
+		// batch boundaries (like the unsharded dispatcher); the pending
+		// batches it cuts off are emitted as canceled results — never
+		// silently dropped — because their sequence numbers sit *between*
+		// already-dispatched ones, and the sequencer needs the space
+		// gap-free. Only the contiguous undispatched tail is counted
+		// without emission.
+		defer func() {
+			for _, s := range shards {
+				close(s.jobs)
+			}
+		}()
+		pending := make([]*shardJob, nShards)
+		n := len(headers)
+		for i := 0; i < n; i++ {
+			if i%cfg.BatchSize == 0 {
+				if err := ctx.Err(); err != nil {
+					undispatched.Store(int64(n - i))
+					for si, j := range pending {
+						if j != nil {
+							shedJob(shards[si], j, err)
+						}
+					}
+					return
+				}
+			}
+			si := 0
+			if nShards > 1 {
+				si = shardOf(headers[i], nShards)
+			}
+			j := pending[si]
+			if j == nil {
+				j = shards[si].jobPool.Get().(*shardJob)
+				pending[si] = j
+			}
+			j.seqs = append(j.seqs, uint64(i))
+			j.hs = append(j.hs, headers[i])
+			if len(j.hs) == cfg.BatchSize {
+				pending[si] = nil
+				if cfg.Overload == OverloadShed {
+					select {
+					case shards[si].jobs <- j:
+					default:
+						shedJob(shards[si], j, ErrShed)
+					}
+				} else {
+					shards[si].jobs <- j
+				}
+			}
+		}
+		for si, j := range pending {
+			if j == nil {
+				continue
+			}
+			if cfg.Overload == OverloadShed {
+				select {
+				case shards[si].jobs <- j:
+				default:
+					shedJob(shards[si], j, ErrShed)
+				}
+			} else {
+				shards[si].jobs <- j
+			}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	st := Stats{Shards: nShards}
+	if d, ok := cl.(Describer); ok {
+		st.Algorithm, st.DegradationLevel = d.DescribeAlgorithm()
+	}
+	em := &emitter{st: &st, emit: emit}
+	emitOne := em.one
+
+	if cfg.PreserveOrder {
+		// Cross-shard sequencer: shards finish batches in any relative
+		// order, but each result carries its arrival sequence number, so
+		// one sliding ring restores global order — the same structure the
+		// unsharded path uses, fed from many lanes.
+		ring := newReorderRing(cfg.BatchSize)
+		for out := range results {
+			for _, r := range out.rs {
+				ring.insert(r)
+				if ring.held > st.MaxReorder {
+					st.MaxReorder = ring.held
+				}
+				ring.drain(emitOne)
+			}
+			out.rs = out.rs[:0]
+			out.home.Put(out)
+		}
+		if ring.held != 0 {
+			return st, fmt.Errorf("engine: %d results stranded in the reorder buffer", ring.held)
+		}
+	} else {
+		for out := range results {
+			for _, r := range out.rs {
+				emitOne(r)
+			}
+			out.rs = out.rs[:0]
+			out.home.Put(out)
+		}
+	}
+	st.Panics = int(panics.Load())
+	st.Canceled += int(undispatched.Load())
+	st.ShardBusy = make([]time.Duration, nShards)
+	for i, s := range shards {
+		st.ShardBusy[i] = s.busy
+	}
+
+	switch {
+	case em.err != nil:
+		return st, em.err
+	case ctx.Err() != nil:
+		return st, fmt.Errorf("engine: run cut short, %d of %d packets canceled: %w",
+			st.Canceled, len(headers), ctx.Err())
+	case st.Panics > 0:
+		return st, fmt.Errorf("engine: %d of %d packets failed with contained classifier panics",
+			st.Panics, len(headers))
+	}
+	return st, nil
+}

@@ -1,0 +1,76 @@
+package expcuts
+
+import (
+	"fmt"
+
+	"repro/internal/rules"
+)
+
+// arena is the flat structure-of-arrays lookup layout of a built tree —
+// the in-memory analogue of the paper's per-level SRAM layout (one HABS
+// word plus one CPA pointer word per level, §4.2.2/Figure 4):
+//
+//   - habs[id] is node id's HABS bit string (2^v significant bits),
+//   - cpa[cpaBase[id] ... ] are its CPA pointer sub-arrays, one 2^u-ref
+//     sub-array per set HABS bit, concatenated for the whole tree,
+//   - refs are int32 node indices (or encoded leaves), not Go pointers.
+//
+// Compared to the []*node pointer graph the builder produces, the arena
+// shrinks the working set to what the compressed serialized image holds,
+// removes per-node allocations and pointer-chasing cache misses from the
+// hot walk, and is free of interior pointers — the garbage collector
+// never traverses it, and any number of serving shards can share one
+// immutable arena with no synchronization. The builder graph is kept
+// alongside solely for stats and the serialize path, whose byte-for-byte
+// image layout must not change.
+type arena struct {
+	habs    []uint64 // per node: HABS word (v <= 5, so <= 32 significant bits)
+	cpaBase []uint32 // per node: first index into cpa
+	cpa     []ref    // concatenated CPA sub-arrays of every node
+}
+
+// buildArena flattens t.nodes into the arena, applying the same
+// sub-array deduplication as bitstring.CompressHABS so the arena is
+// word-for-word the lookup content of the serialized image (per node: 1
+// HABS word + one 2^u-ref sub-array per set bit).
+func (t *Tree) buildArena() error {
+	w, v := t.cfg.StrideW, t.cfg.HabsV
+	u := w - v
+	sub := 1 << u
+	cells := 1 << w
+	// MemoryWordsAggregated = nodes + total CPA refs, computed by
+	// collectStats with exactly the dedup rule applied below.
+	t.ar = arena{
+		habs:    make([]uint64, len(t.nodes)),
+		cpaBase: make([]uint32, len(t.nodes)),
+		cpa:     make([]ref, 0, t.stats.MemoryWordsAggregated-len(t.nodes)),
+	}
+	for id, n := range t.nodes {
+		base := len(t.ar.cpa)
+		if uint64(base) > uint64(^uint32(0)) {
+			return fmt.Errorf("expcuts: arena CPA exceeds 2^32 words (%d nodes)", len(t.nodes))
+		}
+		t.ar.cpaBase[id] = uint32(base)
+		var habs uint64
+		for i := 0; i < cells; i += sub {
+			if i == 0 || !equalRefs(n.ptrs[i-sub:i], n.ptrs[i:i+sub]) {
+				habs |= 1 << uint(i/sub)
+				t.ar.cpa = append(t.ar.cpa, n.ptrs[i:i+sub]...)
+			}
+		}
+		t.ar.habs[id] = habs
+	}
+	return nil
+}
+
+// verifyArena cross-checks the arena walk against the pointer-graph walk
+// for the given headers (test helper; mirrors Tree.Verify for the
+// serialized image).
+func (t *Tree) verifyArena(headers []rules.Header) error {
+	for _, h := range headers {
+		if got, want := t.Classify(h), t.classifyGraph(h); got != want {
+			return fmt.Errorf("expcuts: arena walk %d != graph walk %d for %v", got, want, h)
+		}
+	}
+	return nil
+}

@@ -1,6 +1,7 @@
 package expcuts
 
 import (
+	"math/bits"
 	"sync"
 
 	"repro/internal/rules"
@@ -19,11 +20,11 @@ var batchPool = sync.Pool{New: func() any { return new(batchScratch) }}
 
 // ClassifyBatch classifies hs[i] into out[i] (the engine's BatchClassifier
 // contract; out must be at least as long as hs). It computes every packet's
-// 104-bit key up front, then walks the tree level-synchronously: all
-// packets advance through level 0 before any packet touches level 1, so a
-// node's pointer array that several packets traverse is hot in cache when
-// the second packet arrives instead of evicted by an unrelated full-depth
-// walk. The fixed stride makes the levels of different packets line up
+// 104-bit key up front, then walks the flat node arena level-synchronously:
+// all packets advance through level 0 before any packet touches level 1, so
+// a node's HABS word and CPA sub-arrays that several packets traverse are
+// hot in cache when the second packet arrives instead of evicted by an
+// unrelated full-depth walk. The fixed stride makes the levels line up
 // exactly — the batched analogue of the paper's explicit-depth guarantee
 // (every packet finishes in at most ⌈104/w⌉ rounds).
 //
@@ -54,6 +55,9 @@ func (t *Tree) ClassifyBatch(hs []rules.Header, out []int) {
 	}
 
 	w := t.cfg.StrideW
+	u := w - t.cfg.HabsV
+	lowU := uint32(1)<<u - 1
+	habs, cpaBase, cpa := t.ar.habs, t.ar.cpaBase, t.ar.cpa
 	for i := range out {
 		out[i] = int(t.root)
 	}
@@ -64,7 +68,9 @@ func (t *Tree) ClassifyBatch(hs []rules.Header, out []int) {
 			if r < 0 {
 				continue
 			}
-			r = t.nodes[r].ptrs[keys[i].Bits(pos, w)]
+			c := keys[i].Bits(pos, w)
+			rank := uint32(bits.OnesCount64(habs[r]&(uint64(2)<<(c>>u)-1))) - 1
+			r = cpa[cpaBase[r]+rank<<u+(c&lowU)]
 			out[i] = int(r)
 			if r < 0 {
 				active--

@@ -26,6 +26,8 @@ import (
 	"context"
 	"encoding/binary"
 	"fmt"
+	"math/bits"
+	"sync/atomic"
 
 	"repro/internal/bitstring"
 	"repro/internal/buildgov"
@@ -52,6 +54,18 @@ type Config struct {
 	Channels int
 	// Headroom weights the level-to-channel allocation.
 	Headroom memlayout.Headroom
+	// BuildWorkers fans subtree construction out over a bounded worker
+	// pool: the root's 2^w cells are statically partitioned into
+	// contiguous chunks, one builder goroutine per chunk, all charging
+	// the same build governor (the budget bounds the build's *total*
+	// consumption). 0 or 1 builds sequentially — the default, and the
+	// only mode whose node ordering (and therefore serialized image) is
+	// bit-for-bit reproducible against earlier releases. Parallel builds
+	// are deterministic for a fixed worker count and classify identically
+	// to sequential builds; they may share fewer nodes (each worker
+	// deduplicates within its own memo scope), trading memory for build
+	// wall-clock.
+	BuildWorkers int
 }
 
 // SharingMode selects the node-sharing policy, the subject of the sharing
@@ -134,6 +148,9 @@ func (c *Config) fillDefaults() error {
 	if c.Channels < 1 || c.Channels > memlayout.NumChannels {
 		return fmt.Errorf("expcuts: channels %d out of [1,%d]", c.Channels, memlayout.NumChannels)
 	}
+	if c.BuildWorkers < 0 {
+		return fmt.Errorf("expcuts: build workers %d must be >= 0", c.BuildWorkers)
+	}
 	return nil
 }
 
@@ -184,19 +201,25 @@ type Tree struct {
 	nodes []*node
 	root  ref
 	stats BuildStats
+	ar    arena // flat SoA lookup structure; see arena.go
 
 	image     *memlayout.Image
 	rootPtr   uint32
 	nodeAddrs []uint32 // per node: pointer word (channel+offset encoded)
 }
 
-// builder carries construction state.
+// builder carries the construction state of one build goroutine. Builders
+// append into their own nodes slice (merged by ref-offset remapping when
+// building in parallel) and share the governor and the MaxNodes counter,
+// so budget accounting stays exact across the pool.
 type builder struct {
-	t    *Tree
-	gov  *buildgov.Governor
-	memo map[string]ref // global memo (ShareGlobal only)
-	sig  []byte
-	mode SharingMode
+	t     *Tree
+	gov   *buildgov.Governor
+	memo  map[string]ref // builder-scoped memo (ShareGlobal only)
+	sig   []byte
+	mode  SharingMode
+	nodes []*node
+	count *atomic.Int64 // total nodes across all builders, vs cfg.MaxNodes
 }
 
 // New builds an ExpCuts tree over the rule set and serializes it.
@@ -217,20 +240,34 @@ func NewCtx(ctx context.Context, rs *rules.RuleSet, cfg Config, budget *buildgov
 		return nil, err
 	}
 	t := &Tree{cfg: cfg, rs: rs}
-	b := &builder{t: t, mode: cfg.Sharing, gov: buildgov.Start(ctx, budget)}
-	if b.mode == ShareGlobal {
-		b.memo = make(map[string]ref)
-	}
+	gov := buildgov.Start(ctx, budget)
 	all := make([]int32, rs.Len())
 	for i := range all {
 		all[i] = int32(i)
 	}
-	root, err := b.build(0, rules.FullBox(), all, b.memo)
-	if err != nil {
+	var count atomic.Int64
+	if cfg.BuildWorkers > 1 {
+		root, err := t.buildParallel(gov, &count, all, cfg.BuildWorkers)
+		if err != nil {
+			return nil, err
+		}
+		t.root = root
+	} else {
+		b := &builder{t: t, mode: cfg.Sharing, gov: gov, count: &count}
+		if b.mode == ShareGlobal {
+			b.memo = make(map[string]ref)
+		}
+		root, err := b.build(0, rules.FullBox(), all, b.memo)
+		if err != nil {
+			return nil, err
+		}
+		t.root = root
+		t.nodes = b.nodes
+	}
+	t.collectStats()
+	if err := t.buildArena(); err != nil {
 		return nil, err
 	}
-	t.root = root
-	t.collectStats()
 	if err := t.serialize(); err != nil {
 		return nil, err
 	}
@@ -311,7 +348,10 @@ func (b *builder) build(pos uint, box rules.Box, ruleIdx []int32, memo map[strin
 		}
 		n.ptrs[c] = child
 	}
-	if len(t.nodes) >= t.cfg.MaxNodes {
+	// The MaxNodes counter is shared by every builder of a parallel build,
+	// so the cap bounds the whole tree; with in-flight charges the total
+	// can overshoot by at most one node per worker.
+	if int(b.count.Add(1)) > t.cfg.MaxNodes {
 		return 0, fmt.Errorf("expcuts: node budget %d exhausted (rule set %q, w=%d, sharing %v)",
 			t.cfg.MaxNodes, t.rs.Name, w, b.mode)
 	}
@@ -322,8 +362,8 @@ func (b *builder) build(pos uint, box rules.Box, ruleIdx []int32, memo map[strin
 	if err := b.gov.Nodes(1, int64(cells)*4+nodeOverheadBytes); err != nil {
 		return 0, err
 	}
-	id := ref(len(t.nodes))
-	t.nodes = append(t.nodes, n)
+	id := ref(len(b.nodes))
+	b.nodes = append(b.nodes, n)
 	if memo != nil {
 		if err := b.gov.Memo(1, int64(len(key))+memoOverheadBytes); err != nil {
 			return 0, err
@@ -371,15 +411,38 @@ func dimOfBit(pos uint) rules.Dim {
 	panic(fmt.Sprintf("expcuts: bit position %d beyond key", pos))
 }
 
-// Classify walks the in-memory tree: the native (untraced) lookup.
+// Classify is the native (untraced) lookup, walking the flat node arena:
+// per level one HABS word load, a popcount rank, and one CPA pointer load
+// — the in-memory mirror of the serialized SRAM access pattern, with no
+// per-node Go pointers to chase.
 func (t *Tree) Classify(h rules.Header) int {
+	k := h.Key()
+	w := t.cfg.StrideW
+	u := w - t.cfg.HabsV
+	lowU := uint32(1)<<u - 1
+	r := t.root
+	pos := uint(0)
+	for r >= 0 {
+		c := k.Bits(pos, w)
+		rank := uint32(bits.OnesCount64(t.ar.habs[r]&(uint64(2)<<(c>>u)-1))) - 1
+		r = t.ar.cpa[t.ar.cpaBase[r]+rank<<u+(c&lowU)]
+		pos += w
+	}
+	if r == refNoMatch {
+		return -1
+	}
+	return refRule(r)
+}
+
+// classifyGraph walks the builder's pointer graph. It exists to cross-check
+// the arena walk in tests; serving always uses Classify/ClassifyBatch.
+func (t *Tree) classifyGraph(h rules.Header) int {
 	k := h.Key()
 	w := t.cfg.StrideW
 	r := t.root
 	pos := uint(0)
 	for r >= 0 {
-		chunk := k.Bits(pos, w)
-		r = t.nodes[r].ptrs[chunk]
+		r = t.nodes[r].ptrs[k.Bits(pos, w)]
 		pos += w
 	}
 	if r == refNoMatch {

@@ -319,3 +319,33 @@ func TestRenderersProduceTables(t *testing.T) {
 		}
 	}
 }
+
+func TestServeScalingShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timed serving runs")
+	}
+	rows, err := ServeScaling(light, 0, []int{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	if rows[0].Shards != 1 || rows[0].Speedup < 0.99 || rows[0].Speedup > 1.01 {
+		t.Errorf("1-shard row must anchor the speedup column at 1.0: %+v", rows[0])
+	}
+	for _, r := range rows {
+		if r.MeasuredMpps <= 0 || r.CriticalPathMpps <= 0 || r.Gomaxprocs < 1 {
+			t.Errorf("shards=%d: degenerate row %+v", r.Shards, r)
+		}
+	}
+	// The flow-hash partition balances ACL traffic well enough that the
+	// critical-path projection grows with the shard count.
+	if rows[2].Speedup < 1.5 {
+		t.Errorf("4-shard critical-path speedup %.2fx, want meaningful scaling", rows[2].Speedup)
+	}
+	text := RenderScaling(rows, 0)
+	if !strings.Contains(text, "Critical-path") || !strings.Contains(text, "Shards") {
+		t.Errorf("rendered table missing columns:\n%s", text)
+	}
+}

@@ -20,7 +20,7 @@ func TestHardDepthGuardFiresDirectly(t *testing.T) {
 		Proto:   rules.ProtoMatch{Wildcard: true},
 	}})
 	tr := &Tree{cfg: Config{Binth: 1}, rs: rs, gov: buildgov.Start(context.Background(), nil)}
-	_, err := tr.build(rules.FullBox(), []int{0}, HardMaxDepth+1)
+	_, err := (&hbuilder{t: tr}).build(rules.FullBox(), []int{0}, HardMaxDepth+1)
 	if !errors.Is(err, ErrDepthExceeded) {
 		t.Fatalf("build at depth %d returned %v, want ErrDepthExceeded", HardMaxDepth+1, err)
 	}
@@ -39,7 +39,7 @@ func TestHardDepthBoundIsKeyBits(t *testing.T) {
 		Proto:   rules.ProtoMatch{Wildcard: true},
 	}})
 	tr := &Tree{cfg: Config{Binth: 1}, rs: rs, gov: buildgov.Start(context.Background(), nil)}
-	if _, err := tr.build(rules.FullBox(), []int{0}, HardMaxDepth); err != nil {
+	if _, err := (&hbuilder{t: tr}).build(rules.FullBox(), []int{0}, HardMaxDepth); err != nil {
 		t.Fatalf("build at the exact bound failed: %v (a single rule is a leaf at any depth)", err)
 	}
 }

@@ -65,6 +65,14 @@ type Config struct {
 	Channels int
 	// Headroom weights the channel allocation (defaults to uniform).
 	Headroom memlayout.Headroom
+	// BuildWorkers fans subtree construction out over a bounded worker
+	// pool: the root's cells are statically partitioned into contiguous
+	// chunks, one builder goroutine per chunk, all charging the same
+	// build governor. 0 or 1 builds sequentially (the default). Parallel
+	// builds are deterministic for a fixed worker count and classify
+	// identically; sibling aggregation is scoped per chunk, so a parallel
+	// tree may share fewer nodes.
+	BuildWorkers int
 }
 
 // DefaultConfig matches the paper's HiCuts configuration: binth = 8,
@@ -111,6 +119,9 @@ func (c *Config) fillDefaults() error {
 	}
 	if c.Channels < 1 || c.Channels > memlayout.NumChannels {
 		return fmt.Errorf("hicuts: channels %d out of [1,%d]", c.Channels, memlayout.NumChannels)
+	}
+	if c.BuildWorkers < 0 {
+		return fmt.Errorf("hicuts: build workers %d must be >= 0", c.BuildWorkers)
 	}
 	return nil
 }
@@ -164,7 +175,14 @@ type Tree struct {
 	rootPtr  uint32
 	ruleCh   uint8
 	ruleBase uint32
+}
 
+// hbuilder is the construction state of one build goroutine: each worker
+// of a parallel build gets its own, so the chooseDim scratch map is never
+// shared, while the governor on the Tree is (it is concurrency-safe and
+// bounds the build's total consumption).
+type hbuilder struct {
+	t *Tree
 	// dimSeen is chooseDim's distinct-projection scratch, hoisted here so
 	// the build allocates it once instead of once per dimension per node.
 	dimSeen map[rules.Span]bool
@@ -191,7 +209,14 @@ func NewCtx(ctx context.Context, rs *rules.RuleSet, cfg Config, budget *buildgov
 	for i := range all {
 		all[i] = i
 	}
-	root, err := t.build(rules.FullBox(), all, 0)
+	var root *node
+	var err error
+	if cfg.BuildWorkers > 1 {
+		root, err = t.buildParallel(all, cfg.BuildWorkers)
+	} else {
+		hb := &hbuilder{t: t}
+		root, err = hb.build(rules.FullBox(), all, 0)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -206,7 +231,8 @@ func NewCtx(ctx context.Context, rs *rules.RuleSet, cfg Config, budget *buildgov
 
 // build recursively constructs the subtree for box holding ruleIdx (in
 // priority order, all intersecting box).
-func (t *Tree) build(box rules.Box, ruleIdx []int, depth int) (*node, error) {
+func (b *hbuilder) build(box rules.Box, ruleIdx []int, depth int) (*node, error) {
+	t := b.t
 	if depth > HardMaxDepth {
 		return nil, fmt.Errorf("%w: depth %d on rule set %q", ErrDepthExceeded, depth, t.rs.Name)
 	}
@@ -227,13 +253,13 @@ func (t *Tree) build(box rules.Box, ruleIdx []int, depth int) (*node, error) {
 	if len(ruleIdx) <= t.cfg.Binth || depth >= t.cfg.MaxDepth {
 		return t.leaf(ruleIdx, depth)
 	}
-	dim, ok := t.chooseDim(box, ruleIdx)
+	dim, ok := b.chooseDim(box, ruleIdx)
 	if !ok {
 		// No dimension separates the rules (identical projections
 		// everywhere): linear search is all that is left.
 		return t.leaf(ruleIdx, depth)
 	}
-	log2nc := t.chooseCuts(box, ruleIdx, dim)
+	log2nc := b.chooseCuts(box, ruleIdx, dim)
 	nc := 1 << log2nc
 	size := box[dim].Size()
 	cw := size >> log2nc
@@ -276,7 +302,7 @@ func (t *Tree) build(box rules.Box, ruleIdx []int, depth int) (*node, error) {
 			n.children[c] = child
 			continue
 		}
-		child, err := t.build(cellBox, cells[c], depth+1)
+		child, err := b.build(cellBox, cells[c], depth+1)
 		if err != nil {
 			return nil, err
 		}
@@ -302,21 +328,21 @@ const nodeOverheadBytes = 96
 // projections (ties broken toward the wider box span), the standard HiCuts
 // heuristic. ok is false when no dimension has at least two distinct
 // projections over a box wide enough to cut.
-func (t *Tree) chooseDim(box rules.Box, ruleIdx []int) (rules.Dim, bool) {
+func (b *hbuilder) chooseDim(box rules.Box, ruleIdx []int) (rules.Dim, bool) {
 	best := -1
 	bestDistinct := 1
 	var bestSize uint64
-	if t.dimSeen == nil {
-		t.dimSeen = make(map[rules.Span]bool, len(ruleIdx))
+	if b.dimSeen == nil {
+		b.dimSeen = make(map[rules.Span]bool, len(ruleIdx))
 	}
-	seen := t.dimSeen
+	seen := b.dimSeen
 	for d := 0; d < rules.NumDims; d++ {
 		if box[d].Size() < 2 {
 			continue
 		}
 		clear(seen)
 		for _, ri := range ruleIdx {
-			clip, ok := t.rs.Rules[ri].Span(rules.Dim(d)).Intersect(box[d])
+			clip, ok := b.t.rs.Rules[ri].Span(rules.Dim(d)).Intersect(box[d])
 			if !ok {
 				continue
 			}
@@ -336,16 +362,16 @@ func (t *Tree) chooseDim(box rules.Box, ruleIdx []int) (rules.Dim, bool) {
 
 // chooseCuts grows the cut count while the space measure
 // Σ(child counts) + cuts stays within SpFac × n, returning log2(cuts).
-func (t *Tree) chooseCuts(box rules.Box, ruleIdx []int, dim rules.Dim) uint {
+func (b *hbuilder) chooseCuts(box rules.Box, ruleIdx []int, dim rules.Dim) uint {
 	size := box[dim].Size()
-	budget := t.cfg.SpFac * float64(len(ruleIdx))
+	budget := b.t.cfg.SpFac * float64(len(ruleIdx))
 	log2nc := uint(1)
 	for {
 		next := log2nc + 1
-		if uint64(1)<<next > uint64(t.cfg.MaxCuts) || uint64(1)<<next > size {
+		if uint64(1)<<next > uint64(b.t.cfg.MaxCuts) || uint64(1)<<next > size {
 			break
 		}
-		if t.spaceMeasure(box, ruleIdx, dim, next) > budget {
+		if b.spaceMeasure(box, ruleIdx, dim, next) > budget {
 			break
 		}
 		log2nc = next
@@ -355,12 +381,12 @@ func (t *Tree) chooseCuts(box rules.Box, ruleIdx []int, dim rules.Dim) uint {
 
 // spaceMeasure computes Σ over cells of the rule count, plus the cut count,
 // without materializing cell lists.
-func (t *Tree) spaceMeasure(box rules.Box, ruleIdx []int, dim rules.Dim, log2nc uint) float64 {
+func (b *hbuilder) spaceMeasure(box rules.Box, ruleIdx []int, dim rules.Dim, log2nc uint) float64 {
 	nc := 1 << log2nc
 	log2cw := uint(bits.TrailingZeros64(box[dim].Size() >> log2nc))
 	total := float64(nc)
 	for _, ri := range ruleIdx {
-		lo, hi := cellRange(t.rs.Rules[ri].Span(dim), box[dim], log2cw, nc)
+		lo, hi := cellRange(b.t.rs.Rules[ri].Span(dim), box[dim], log2cw, nc)
 		total += float64(hi - lo + 1)
 	}
 	return total

@@ -1,0 +1,118 @@
+package hicuts
+
+import (
+	"encoding/binary"
+	"math/bits"
+	"sync"
+
+	"repro/internal/rules"
+)
+
+// buildParallel constructs the tree with cfg.BuildWorkers builder
+// goroutines. The root's cut decision (dimension, cut count) is made
+// sequentially with the exact heuristics of a sequential build; its cells
+// are then statically partitioned into contiguous chunks, one worker per
+// chunk, each with its own hbuilder scratch and sibling-aggregation
+// scope. Workers share only the Tree's governor, which is
+// concurrency-safe, so budget accounting stays exact and a trip by any
+// worker unwinds the whole pool.
+//
+// The static partition makes the result deterministic for a fixed worker
+// count. Classification is identical to a sequential build; sibling
+// aggregation is scoped per chunk, so a parallel tree may share fewer
+// child nodes (never produce different answers).
+func (t *Tree) buildParallel(all []int, workers int) (*node, error) {
+	// Root leaf cases, mirroring the top of hbuilder.build at depth 0.
+	box := rules.FullBox()
+	if t.cfg.PruneCovered {
+		for k, ri := range all {
+			if t.rs.Rules[ri].Box().Covers(box) {
+				all = all[:k+1]
+				break
+			}
+		}
+	}
+	hb := &hbuilder{t: t}
+	if len(all) <= t.cfg.Binth || t.cfg.MaxDepth <= 0 {
+		return t.leaf(all, 0)
+	}
+	dim, ok := hb.chooseDim(box, all)
+	if !ok {
+		return t.leaf(all, 0)
+	}
+	log2nc := hb.chooseCuts(box, all, dim)
+	nc := 1 << log2nc
+	log2cw := uint(bits.TrailingZeros64(box[dim].Size() >> log2nc))
+
+	cells := make([][]int, nc)
+	for _, ri := range all {
+		lo, hi := cellRange(t.rs.Rules[ri].Span(dim), box[dim], log2cw, nc)
+		for c := lo; c <= hi; c++ {
+			cells[c] = append(cells[c], ri)
+		}
+	}
+
+	n := &node{depth: 0, dim: dim, log2cw: log2cw, log2nc: log2nc,
+		children: make([]*node, nc)}
+	if err := t.gov.Nodes(1, int64(nc)*8+int64(len(all))*8+nodeOverheadBytes); err != nil {
+		return nil, err
+	}
+
+	if workers > nc {
+		workers = nc
+	}
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for k := 0; k < workers; k++ {
+		lo, hi := k*nc/workers, (k+1)*nc/workers
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			wb := &hbuilder{t: t}
+			// Sibling aggregation within this worker's chunk only: the
+			// sequential build shares across all nc siblings; per-chunk
+			// scoping can only duplicate nodes, never change answers.
+			shared := make(map[string]*node)
+			var sig []byte
+			for c := lo; c < hi; c++ {
+				cellBox := box
+				cellBox[dim] = rules.Span{
+					Lo: box[dim].Lo + uint32(uint64(c)<<log2cw),
+					Hi: box[dim].Lo + uint32(uint64(c+1)<<log2cw) - 1,
+				}
+				sig = sig[:0]
+				for _, ri := range cells[c] {
+					clip, _ := t.rs.Rules[ri].Span(dim).Intersect(cellBox[dim])
+					sig = binary.AppendUvarint(sig, uint64(ri))
+					sig = binary.AppendUvarint(sig, uint64(clip.Lo-cellBox[dim].Lo))
+					sig = binary.AppendUvarint(sig, uint64(clip.Hi-cellBox[dim].Lo))
+				}
+				key := string(sig)
+				if child, ok := shared[key]; ok {
+					n.children[c] = child
+					continue
+				}
+				child, err := wb.build(cellBox, cells[c], 1)
+				if err != nil {
+					errs[k] = err
+					return
+				}
+				shared[key] = child
+				n.children[c] = child
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Prefer the governor's sticky error so a tripped budget is reported
+	// identically no matter which worker(s) observed it first.
+	if err := t.gov.Err(); err != nil {
+		return nil, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return n, nil
+}

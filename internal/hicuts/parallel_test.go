@@ -1,0 +1,127 @@
+package hicuts
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/buildgov"
+	"repro/internal/pktgen"
+	"repro/internal/rulegen"
+)
+
+// TestParallelBuildMatchesSequential builds the same rule sets with
+// several worker counts and checks every variant classifies identically
+// to the sequential tree and the oracle.
+func TestParallelBuildMatchesSequential(t *testing.T) {
+	for _, tc := range []struct {
+		kind rulegen.Kind
+		size int
+		cfg  Config
+	}{
+		{rulegen.CoreRouter, 400, Config{}},
+		{rulegen.Firewall, 250, Config{}},
+		{rulegen.Firewall, 150, Config{Binth: 2, PruneCovered: true}},
+		{rulegen.Random, 80, Config{}},
+	} {
+		rs, err := rulegen.Generate(rulegen.Config{Kind: tc.kind, Size: tc.size, Seed: 351})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := pktgen.Generate(rs, pktgen.Config{Count: 1500, Seed: 352, MatchFraction: 0.85})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq, err := New(rs, tc.cfg)
+		if err != nil {
+			t.Fatalf("%v/%d sequential: %v", tc.kind, tc.size, err)
+		}
+		for _, workers := range []int{2, 8} {
+			cfg := tc.cfg
+			cfg.BuildWorkers = workers
+			par, err := New(rs, cfg)
+			if err != nil {
+				t.Fatalf("%v/%d workers=%d: %v", tc.kind, tc.size, workers, err)
+			}
+			for _, h := range tr.Headers {
+				want := rs.Match(h)
+				if got := par.Classify(h); got != want {
+					t.Fatalf("%v/%d workers=%d: Classify(%v) = %d, oracle = %d",
+						tc.kind, tc.size, workers, h, got, want)
+				}
+				if got := seq.Classify(h); got != want {
+					t.Fatalf("%v/%d: sequential tree disagrees with oracle", tc.kind, tc.size)
+				}
+			}
+			// Determinism: rebuilding with the same worker count yields the
+			// same shape.
+			again, err := New(rs, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if again.Stats() != par.Stats() {
+				t.Fatalf("%v/%d workers=%d: parallel build not deterministic: %+v vs %+v",
+					tc.kind, tc.size, workers, par.Stats(), again.Stats())
+			}
+		}
+	}
+}
+
+// TestParallelBuildTripUnwindsWithinDeadline runs a parallel build of a
+// pathological overlap-heavy set under a tight wall-clock budget; the
+// fanned-out workers must all unwind within 2x the deadline.
+func TestParallelBuildTripUnwindsWithinDeadline(t *testing.T) {
+	rs, err := rulegen.Generate(rulegen.Config{Kind: rulegen.Random, Size: 4000, Seed: 361})
+	if err != nil {
+		t.Fatal(err)
+	}
+	timeout := 100 * time.Millisecond
+	for _, workers := range []int{2, 8} {
+		start := time.Now()
+		_, err := NewCtx(context.Background(), rs,
+			Config{Binth: 1, PruneCovered: true, BuildWorkers: workers},
+			&buildgov.Budget{Timeout: timeout})
+		elapsed := time.Since(start)
+		if err == nil {
+			t.Logf("workers=%d: build finished inside budget in %v", workers, elapsed)
+		} else if !errors.Is(err, buildgov.ErrBudgetExceeded) && !errors.Is(err, ErrDepthExceeded) {
+			t.Fatalf("workers=%d: unexpected error %v", workers, err)
+		}
+		if elapsed > 2*timeout {
+			t.Fatalf("workers=%d: unwind took %v, want <= 2x the %v deadline", workers, elapsed, timeout)
+		}
+	}
+}
+
+// TestParallelBuildNodeChargeExact checks governor node accounting on a
+// parallel build equals the number of unique nodes actually constructed:
+// concurrent charges must not be lost or double-counted. Shared
+// (aggregated) children are built once and charged once.
+func TestParallelBuildNodeChargeExact(t *testing.T) {
+	rs, err := rulegen.Generate(rulegen.Config{Kind: rulegen.CoreRouter, Size: 500, Seed: 371})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4} {
+		cfg := Config{BuildWorkers: workers}
+		if err := cfg.fillDefaults(); err != nil {
+			t.Fatal(err)
+		}
+		tree := &Tree{cfg: cfg, rs: rs, gov: buildgov.Start(context.Background(), &buildgov.Budget{})}
+		all := make([]int, rs.Len())
+		for i := range all {
+			all[i] = i
+		}
+		root, err := tree.buildParallel(all, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		tree.root = root
+		tree.collectStats()
+		if got, want := tree.gov.Stats().Nodes, tree.Stats().Nodes; got != want {
+			t.Fatalf("workers=%d: governor charged %d nodes, tree has %d unique nodes",
+				workers, got, want)
+		}
+	}
+}

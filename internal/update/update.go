@@ -376,7 +376,11 @@ func (m *Manager) Snapshot() ([]rules.Rule, uint64) {
 }
 
 // Generation returns the live generation number; it increments on every
-// successful Apply or Rollback.
+// successful Apply or Rollback and never moves backwards. Monotonicity
+// is a contract: the engine's sharded serving path brackets each batch
+// with two Generation reads and takes an equal pair to mean the whole
+// batch — every flow-cache hit and miss in it — was served by that one
+// generation, so no batch on any shard ever straddles a swap.
 func (m *Manager) Generation() uint64 {
 	return m.live.Load().gen
 }
