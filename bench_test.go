@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 // benchCtx keeps the per-iteration cost of the experiment benchmarks
@@ -257,8 +258,10 @@ func serveBenchSet(b *testing.B) (*RuleSet, []Header) {
 }
 
 // benchServeEngine drives the ordered engine over the ACL1K trace at the
-// given batch size and reports end-to-end throughput in Mpkt/s.
-func benchServeEngine(b *testing.B, batchSize int) {
+// given batch size and reports end-to-end throughput in Mpkt/s. A non-nil
+// metrics attaches the observability layer exactly as pcclass -metrics
+// wires it.
+func benchServeEngine(b *testing.B, batchSize int, metrics *engine.Metrics) {
 	rs, headers := serveBenchSet(b)
 	tree, err := NewExpCuts(rs, ExpCutsConfig{})
 	if err != nil {
@@ -266,6 +269,7 @@ func benchServeEngine(b *testing.B, batchSize int) {
 	}
 	cfg := engine.DefaultConfig()
 	cfg.BatchSize = batchSize
+	cfg.Metrics = metrics
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := RunEngine(tree, cfg, headers, func(EngineResult) {}); err != nil {
@@ -280,13 +284,25 @@ func benchServeEngine(b *testing.B, batchSize int) {
 // ordered engine dispatching one packet per job (BatchSize 1) on ExpCuts
 // over the 1k-rule ACL set.
 func BenchmarkServePerPacket(b *testing.B) {
-	benchServeEngine(b, 1)
+	benchServeEngine(b, 1, nil)
 }
 
 // BenchmarkServeBatched is the serving fast path: the same engine, same
 // ordering guarantee, dispatching the default 64-packet batches.
 func BenchmarkServeBatched(b *testing.B) {
-	benchServeEngine(b, engine.DefaultBatchSize)
+	benchServeEngine(b, engine.DefaultBatchSize, nil)
+}
+
+// BenchmarkServeBatchedMetrics is BenchmarkServeBatched with the
+// observability layer live: a registered Metrics and an armed event ring,
+// the configuration pcclass -metrics serves with. Comparing its Mpps
+// against BenchmarkServeBatched shows the instrumentation cost the
+// benchjson -metrics-overhead gate bounds at 2%.
+func BenchmarkServeBatchedMetrics(b *testing.B) {
+	m := engine.NewMetrics(engine.DefaultMetricsShards)
+	m.SetEvents(obs.NewRing(obs.DefaultRingSize))
+	m.Register(obs.NewRegistry())
+	benchServeEngine(b, engine.DefaultBatchSize, m)
 }
 
 // BenchmarkServeClassifyBatch measures the raw level-synchronous batched

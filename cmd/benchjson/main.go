@@ -48,6 +48,9 @@ type baseline struct {
 	// Scaling is the multi-core serving curve (present with -scaling).
 	Scaling     []scalingRow `json:"scaling,omitempty"`
 	ScalingNote string       `json:"scaling_note,omitempty"`
+	// MetricsOverhead records what the obs layer costs (metrics-on over
+	// metrics-off throughput) on the paths the baselines track.
+	MetricsOverhead []overheadRow `json:"metrics_overhead,omitempty"`
 }
 
 type row struct {
@@ -67,6 +70,13 @@ type scalingRow struct {
 	Speedup          float64 `json:"speedup"`
 }
 
+type overheadRow struct {
+	Path    string  `json:"path"`
+	OffMpps float64 `json:"metrics_off_mpps"`
+	OnMpps  float64 `json:"metrics_on_mpps"`
+	Ratio   float64 `json:"ratio"`
+}
+
 func main() {
 	out := flag.String("out", "BENCH_PR3.json", "output file ('-' for stdout)")
 	batch := flag.Int("batch", engine.DefaultBatchSize, "engine batch size for the batched runs")
@@ -75,6 +85,9 @@ func main() {
 	scaling := flag.Bool("scaling", false, "also measure the 1/2/4/8-shard scaling curve")
 	check := flag.String("check", "", "baseline file to compare against instead of writing one")
 	tolerance := flag.Float64("tolerance", 0.25, "relative batched-Mpps regression allowed by -check")
+	overheadTol := flag.Float64("metrics-overhead", 0.02,
+		"max throughput the obs layer may cost (-check fails when metrics-on/metrics-off < 1-this); negative skips the overhead gate")
+	overheadShards := flag.Int("overhead-shards", 4, "shard count for the sharded-critical overhead row")
 	flag.Parse()
 
 	ctx := experiments.DefaultContext()
@@ -85,6 +98,10 @@ func main() {
 
 	if *check != "" {
 		if err := checkBaseline(*check, ctx, *batch, *tolerance); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		if err := checkOverhead(ctx, *batch, *overheadShards, *overheadTol); err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
@@ -137,6 +154,21 @@ func main() {
 		b.ScalingNote = "critical_path_mpps projects one core per shard (packets / busiest " +
 			"shard's classification time); measured_mpps is wall-clock on this host and is " +
 			"bounded by gomaxprocs, so on few cores the projection is the scaling signal"
+	}
+	if *overheadTol >= 0 {
+		over, err := experiments.MetricsOverhead(ctx, *batch, *overheadShards)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		for _, r := range over {
+			b.MetricsOverhead = append(b.MetricsOverhead, overheadRow{
+				Path:    r.Path,
+				OffMpps: round2(r.OffMpps),
+				OnMpps:  round2(r.OnMpps),
+				Ratio:   round2(r.Ratio),
+			})
+		}
 	}
 
 	enc, err := json.MarshalIndent(b, "", "  ")
@@ -204,6 +236,47 @@ func checkBaseline(path string, ctx experiments.Context, batch int, tol float64)
 	}
 	fmt.Printf("ok: no algorithm regressed more than %.0f%% vs %s\n", tol*100, path)
 	return nil
+}
+
+// checkOverhead re-measures the obs-layer cost and fails when the
+// metrics-on/metrics-off throughput ratio drops below 1-tol on either
+// tracked path. Unlike the baseline comparison this gate is
+// self-contained — both readings come from the same process seconds
+// apart, so it holds to a tight 2% default where the cross-run gate
+// needs 25%. A breach gets one full re-measurement before the gate
+// fails: a genuine regression exceeds the budget both times, while a
+// host-level noise spike (the CI runner paging, a co-tenant burst)
+// rarely survives two independent 25-pair measurements. A negative tol
+// skips the gate.
+func checkOverhead(ctx experiments.Context, batch, shards int, tol float64) error {
+	if tol < 0 {
+		return nil
+	}
+	var failures []string
+	for attempt := 0; attempt < 2; attempt++ {
+		rows, err := experiments.MetricsOverhead(ctx, batch, shards)
+		if err != nil {
+			return err
+		}
+		failures = failures[:0]
+		for _, r := range rows {
+			fmt.Printf("%-16s metrics-off %.2f Mpps, metrics-on %.2f (%.1f%% overhead)\n",
+				r.Path, r.OffMpps, r.OnMpps, 100*(1-r.Ratio))
+			if r.Ratio < 1-tol {
+				failures = append(failures,
+					fmt.Sprintf("%s: metrics-on %.2f Mpps is %.1f%% below metrics-off %.2f (budget %.0f%%)",
+						r.Path, r.OnMpps, 100*(1-r.Ratio), r.OffMpps, tol*100))
+			}
+		}
+		if len(failures) == 0 {
+			fmt.Printf("ok: observability overhead within %.0f%% on both paths\n", tol*100)
+			return nil
+		}
+		if attempt == 0 {
+			fmt.Printf("overhead budget exceeded; re-measuring once to rule out host noise\n")
+		}
+	}
+	return fmt.Errorf("observability overhead exceeds budget twice:\n  %s", strings.Join(failures, "\n  "))
 }
 
 // cpuModel best-effort reads the host CPU model so baselines from

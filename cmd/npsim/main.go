@@ -22,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/expcuts"
 	"repro/internal/faultinject"
@@ -29,6 +30,7 @@ import (
 	"repro/internal/hsm"
 	"repro/internal/memlayout"
 	"repro/internal/nptrace"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/pktgen"
 	"repro/internal/rulegen"
@@ -53,8 +55,32 @@ func main() {
 		mapping  = flag.String("mapping", "multi", "multi (multiprocessing) or pipeline (context pipelining)")
 		imgCheck = flag.Bool("imagecheck", false, "round-trip the SRAM image through the checksummed loader and exit")
 		corrupt  = flag.Int("corruptbit", -1, "flip this bit of the serialized image before reloading (expects refusal); implies -imagecheck")
+
+		metricsAddr = flag.String("metrics", "", "serve Prometheus /metrics, /debug/vars and /events on this addr")
+		metricsHold = flag.Duration("metrics-hold", 0, "keep the process (and -metrics endpoint) alive this long after the report")
 	)
 	flag.Parse()
+
+	// Simulation results land here after the run; the registry collector
+	// re-emits them on every scrape (a finished simulation is immutable).
+	var simSamples []obs.Sample
+	var reg *obs.Registry
+	if *metricsAddr != "" {
+		reg = obs.NewRegistry()
+		reg.SetEvents(obs.NewRing(obs.DefaultRingSize))
+		reg.EnableExpvar()
+		reg.Register(func(emit func(obs.Sample)) {
+			for _, s := range simSamples {
+				emit(s)
+			}
+		})
+		srv, err := reg.Serve(*metricsAddr)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("metrics on http://%s/metrics\n", srv.Addr())
+	}
 
 	rs, err := rulegen.Standard(*standard)
 	if err != nil {
@@ -100,6 +126,17 @@ func main() {
 		fmt.Printf("  SRAM#%d  utilization %3.0f%%  headroom %3.0f%%\n", c, (1-h)*100, h*100)
 	}
 
+	gauge := func(name, help string, labels []obs.Label, v float64) {
+		simSamples = append(simSamples, obs.Sample{Name: name, Help: help, Type: "gauge", Labels: labels, Value: v})
+	}
+	if t, ok := cl.(*expcuts.Tree); ok {
+		st := t.Stats()
+		gauge("pc_build_nodes", "Unique internal nodes in the classifier tree.", nil, float64(st.Nodes))
+		gauge("pc_build_depth", "Explicit tree depth.", nil, float64(st.Depth))
+		gauge("pc_build_memory_bytes", "Serialized SRAM footprint.", nil, float64(t.MemoryBytes()))
+		gauge("pc_build_worst_case_accesses", "Worst-case SRAM accesses per lookup.", nil, float64(st.WorstCaseAccesses))
+	}
+
 	switch *mapping {
 	case "multi":
 		r, err := pipeline.RunMultiprocessing(app, progs, *packets)
@@ -111,6 +148,12 @@ func main() {
 		fmt.Printf("  channel utilization: %.2f %.2f %.2f %.2f   ME utilization: %.2f\n",
 			r.ChannelUtilization[0], r.ChannelUtilization[1],
 			r.ChannelUtilization[2], r.ChannelUtilization[3], r.MEUtilization)
+		gauge("pc_npsim_throughput_mbps", "Simulated multiprocessing throughput.", nil, r.ThroughputMbps)
+		gauge("pc_npsim_me_utilization", "Simulated classification-ME utilization.", nil, r.MEUtilization)
+		for c, u := range r.ChannelUtilization {
+			gauge("pc_npsim_channel_utilization", "Simulated SRAM channel utilization.",
+				[]obs.Label{{Key: "channel", Value: fmt.Sprintf("%d", c)}}, u)
+		}
 	case "pipeline":
 		r, err := pipeline.RunContextPipelining(app, progs, *packets)
 		if err != nil {
@@ -121,8 +164,13 @@ func main() {
 		for i, s := range r.Stages {
 			fmt.Printf("  stage %d: %.0f Mbps offered\n", i, s.OfferedMbps)
 		}
+		gauge("pc_npsim_throughput_mbps", "Simulated context-pipelining throughput.", nil, r.ThroughputMbps)
+		gauge("pc_npsim_bottleneck_stage", "Pipeline stage bounding throughput.", nil, float64(r.BottleneckStage))
 	default:
 		fatal(fmt.Errorf("unknown mapping %q (multi, pipeline)", *mapping))
+	}
+	if *metricsHold > 0 {
+		time.Sleep(*metricsHold)
 	}
 }
 

@@ -7,7 +7,7 @@
 //	pcbench -experiment fig6,fig9 -packets 50000
 //
 // Experiments: fig6 fig7 fig8 fig9 tab2 tab4 tab5
-// stride habs popcount binth sharing extended ladder serve scaling all
+// stride habs popcount binth sharing extended ladder serve scaling obs all
 //
 // The ladder experiment walks every rule set (standard + pathological)
 // through the degradation ladder given by -ladder under the build budget
@@ -18,7 +18,10 @@
 // batched (-batch sets the batch size) on the 1k-rule ACL set; it is the
 // driver behind the tracked BENCH_PR3.json baseline. The scaling
 // experiment measures the flow-affinity sharded engine across -shards
-// shard counts (the BENCH_PR4.json curve). -cpuprofile and
+// shard counts (the BENCH_PR4.json curve). The obs experiment prices
+// the observability layer itself: metrics-off versus metrics-on
+// throughput on the batched and sharded paths (the benchjson
+// -metrics-overhead gate runs the same measurement). -cpuprofile and
 // -memprofile write pprof profiles covering the selected experiments.
 package main
 
@@ -33,11 +36,12 @@ import (
 
 	"repro/internal/buildgov"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
 	var (
-		which    = flag.String("experiment", "all", "comma-separated experiment list (fig6 fig7 fig8 fig9 tab2 tab4 tab5 stride habs popcount binth sharing extended ladder serve scaling all)")
+		which    = flag.String("experiment", "all", "comma-separated experiment list (fig6 fig7 fig8 fig9 tab2 tab4 tab5 stride habs popcount binth sharing extended ladder serve scaling obs all)")
 		packets  = flag.Int("packets", 25000, "packets per simulation")
 		traceLen = flag.Int("trace", 2000, "distinct headers per trace")
 		seed     = flag.Int64("seed", 1, "trace seed")
@@ -47,12 +51,28 @@ func main() {
 		buildMaxNodes = flag.Int("build-maxnodes", 0, "ladder: node/table-row budget per build attempt (0 = unlimited)")
 		ladderNames   = flag.String("ladder", "expcuts,hicuts,hsm,linear", "ladder: degradation rungs, best first")
 
-		batch      = flag.Int("batch", 0, "serve/scaling: engine batch size (0 = engine default)")
+		batch      = flag.Int("batch", 0, "serve/scaling/obs: engine batch size (0 = engine default)")
 		shardList  = flag.String("shards", "1,2,4,8", "scaling: comma-separated shard counts")
+		obsShards  = flag.Int("obs-shards", 4, "obs: shard count for the sharded overhead row")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile covering the selected experiments")
 		memProfile = flag.String("memprofile", "", "write a heap profile after the selected experiments")
+
+		metricsAddr = flag.String("metrics", "", "serve /metrics, /debug/vars and /events on this addr while experiments run (process-level introspection; experiment engines stay uninstrumented so their numbers match the metrics-off baselines)")
 	)
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		reg := obs.NewRegistry()
+		reg.SetEvents(obs.NewRing(obs.DefaultRingSize))
+		reg.EnableExpvar()
+		srv, err := reg.Serve(*metricsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pcbench:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("metrics on http://%s/metrics\n\n", srv.Addr())
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -170,6 +190,13 @@ func main() {
 				return "", err
 			}
 			return experiments.RenderScaling(rows, *batch), nil
+		}},
+		{"obs", func() (string, error) {
+			rows, err := experiments.MetricsOverhead(ctx, *batch, *obsShards)
+			if err != nil {
+				return "", err
+			}
+			return experiments.RenderMetricsOverhead(rows, *batch, *obsShards), nil
 		}},
 	}
 

@@ -43,6 +43,7 @@ import (
 	"repro/internal/hsm"
 	"repro/internal/hypercuts"
 	"repro/internal/linear"
+	"repro/internal/obs"
 	"repro/internal/pktgen"
 	"repro/internal/rfc"
 	"repro/internal/rulegen"
@@ -87,8 +88,57 @@ func main() {
 		batch      = flag.Int("batch", 0, "batch size: engine dispatch granularity with -workers, ClassifyBatch chunking when sequential (0 = default/per-packet)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the classify phase")
 		memProfile = flag.String("memprofile", "", "write a heap profile after classification")
+
+		metricsAddr = flag.String("metrics", "", "serve Prometheus /metrics, /debug/vars and /events on this addr (e.g. 127.0.0.1:9915)")
+		metricsHold = flag.Duration("metrics-hold", 0, "keep the process (and -metrics endpoint) alive this long after the report")
+		flightFile  = flag.String("flight", "", "write the event flight recorder as JSON to this file on exit ('-' for stderr)")
 	)
 	flag.Parse()
+
+	// Observability plumbing: one registry, one flight-recorder ring.
+	// Everything downstream takes these as optional and stays on its
+	// uninstrumented path when they are nil.
+	var (
+		ring *obs.Ring
+		reg  *obs.Registry
+		em   *engine.Metrics
+	)
+	if *metricsAddr != "" || *flightFile != "" {
+		ring = obs.NewRing(obs.DefaultRingSize)
+		reg = obs.NewRegistry()
+		reg.SetEvents(ring)
+		reg.EnableExpvar()
+		em = engine.NewMetrics(engine.DefaultMetricsShards)
+		em.SetEvents(ring)
+		em.Register(reg)
+		stop := obs.DumpOnSIGQUIT(ring, os.Stderr)
+		defer stop()
+		if *flightFile != "" {
+			defer func() {
+				w := os.Stderr
+				if *flightFile != "-" {
+					f, err := os.Create(*flightFile)
+					if err != nil {
+						fmt.Fprintln(os.Stderr, "pcclass: flight recorder:", err)
+						return
+					}
+					defer f.Close()
+					w = f
+				}
+				if err := ring.WriteJSON(w); err != nil {
+					fmt.Fprintln(os.Stderr, "pcclass: flight recorder:", err)
+				}
+			}()
+		}
+		if *metricsAddr != "" {
+			srv, err := reg.Serve(*metricsAddr)
+			if err != nil {
+				fatal(err)
+			}
+			defer srv.Close()
+			fmt.Printf("metrics       http://%s/metrics (flight recorder at /events)\n", srv.Addr())
+		}
+	}
 
 	rs, err := loadRules(*rulesFile, *standard)
 	if err != nil {
@@ -101,12 +151,12 @@ func main() {
 
 	var budget *buildgov.Budget
 	if *buildTimeout > 0 || *buildMaxNodes > 0 {
-		budget = &buildgov.Budget{Timeout: *buildTimeout, MaxNodes: *buildMaxNodes}
+		budget = &buildgov.Budget{Timeout: *buildTimeout, MaxNodes: *buildMaxNodes, Events: ring}
 	}
 	start := time.Now()
 	var cl classifier
 	if *ladderNames != "" {
-		cl, err = buildLadder(strings.Split(*ladderNames, ","), rs, budget)
+		cl, err = buildLadder(strings.Split(*ladderNames, ","), rs, budget, ring, reg)
 	} else {
 		cl, err = build(*algo, rs, budget, *buildWorkers)
 	}
@@ -114,6 +164,9 @@ func main() {
 		fatal(err)
 	}
 	buildTime := time.Since(start)
+	if t, ok := cl.(*expcuts.Tree); ok && reg != nil {
+		reg.Register(buildStatsCollector(t))
+	}
 
 	oracle := linear.New(rs)
 	counts := map[string]int{}
@@ -171,6 +224,7 @@ func main() {
 			QueueDepth:     *queue,
 			PreserveOrder:  !*unordered,
 			BatchSize:      *batch,
+			Metrics:        em,
 		}
 		switch *overload {
 		case "block":
@@ -245,6 +299,26 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("verify        all results match linear search")
+	}
+	if *metricsHold > 0 {
+		time.Sleep(*metricsHold)
+	}
+}
+
+// buildStatsCollector exposes the ExpCuts build-time statistics — the
+// paper's Table/Figure quantities — as pc_build_* gauges. Build stats
+// are immutable after construction, so the collector just re-reads them
+// on each scrape.
+func buildStatsCollector(t *expcuts.Tree) obs.Collector {
+	return func(emit func(obs.Sample)) {
+		st := t.Stats()
+		gauge := func(name, help string, v float64) {
+			emit(obs.Sample{Name: name, Help: help, Type: "gauge", Value: v})
+		}
+		gauge("pc_build_nodes", "Unique internal nodes in the serving ExpCuts tree.", float64(st.Nodes))
+		gauge("pc_build_depth", "Explicit tree depth of the serving ExpCuts tree.", float64(st.Depth))
+		gauge("pc_build_memory_bytes", "Serialized SRAM footprint of the serving classifier.", float64(t.MemoryBytes()))
+		gauge("pc_build_worst_case_accesses", "Worst-case SRAM accesses per lookup.", float64(st.WorstCaseAccesses))
 	}
 }
 
@@ -347,15 +421,16 @@ func (l laddered) Name() string {
 }
 func (l laddered) DescribeAlgorithm() (string, int) { return l.m.DescribeAlgorithm() }
 
-func buildLadder(names []string, rs *rules.RuleSet, budget *buildgov.Budget) (classifier, error) {
+func buildLadder(names []string, rs *rules.RuleSet, budget *buildgov.Budget, ring *obs.Ring, reg *obs.Registry) (classifier, error) {
 	rungs, err := update.LadderFromNames(names, budget)
 	if err != nil {
 		return nil, err
 	}
-	m, err := update.NewManagerLadder(rs, rungs, update.Config{MaxBuildAttempts: 1})
+	m, err := update.NewManagerLadder(rs, rungs, update.Config{MaxBuildAttempts: 1, Events: ring})
 	if err != nil {
 		return nil, err
 	}
+	m.Register(reg)
 	if h := m.Health(); h.BudgetTrips > 0 {
 		fmt.Printf("ladder        %d budget-tripped build(s) before settling\n", h.BudgetTrips)
 	}

@@ -42,6 +42,8 @@ import (
 	"fmt"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // ErrBudgetExceeded is the sentinel every budget violation wraps. Callers
@@ -66,6 +68,11 @@ type Budget struct {
 	// MaxMemoEntries bounds memoization/interning entries charged via
 	// Memo — the hidden multiplier of sharing-based builders.
 	MaxMemoEntries int
+	// Events, when non-nil, receives one EventBudgetTrip flight-recorder
+	// entry the moment any limit trips (once per build; the error is
+	// sticky). Off the metered path: builders never touch it, only trip
+	// does.
+	Events *obs.Ring
 }
 
 // Stats is the partial consumption snapshot carried by a BudgetError and
@@ -282,6 +289,10 @@ func (g *Governor) Stats() Stats {
 // error from every method" contract across goroutines.
 func (g *Governor) trip(limit string, cause error) error {
 	e := &BudgetError{Limit: limit, Stats: g.Stats(), Cause: cause}
-	g.err.CompareAndSwap(nil, e)
+	if g.err.CompareAndSwap(nil, e) {
+		// Only the winning trip records, so one aborted build is one event
+		// no matter how many workers observed the sticky error.
+		g.budget.Events.Recordf(obs.EventBudgetTrip, "build aborted: %s limit after %s", limit, e.Stats)
+	}
 	return g.err.Load()
 }

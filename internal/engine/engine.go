@@ -132,6 +132,14 @@ type Config struct {
 	// 0 disables caching. Setting FlowCacheFlows forces the sharded path
 	// even at Shards == 1.
 	FlowCacheFlows int
+	// Metrics, when non-nil, attaches the engine's observability block
+	// (see NewMetrics): serving loops record per-shard counters and
+	// histograms at batch granularity — never per packet, never with a
+	// lock, never allocating. One Metrics may be shared across sequential
+	// and concurrent runs; counters accumulate, which is what a scrape
+	// endpoint wants. Nil disables instrumentation entirely at the cost
+	// of one pointer test per batch.
+	Metrics *Metrics
 }
 
 // DefaultBatchSize is the packets-per-dispatch default. 64 packets is
@@ -236,9 +244,17 @@ type Stats struct {
 	// Algorithm and DegradationLevel are filled when the classifier
 	// implements Describer: the algorithm that served this run and its
 	// rung on the degradation ladder (0 = best). Algorithm is empty for
-	// classifiers that don't describe themselves.
+	// classifiers that don't describe themselves. This pair is sampled as
+	// serving starts.
 	Algorithm        string
 	DegradationLevel int
+	// FinalAlgorithm and FinalDegradationLevel re-sample the Describer
+	// after the last result is emitted. They differ from Algorithm /
+	// DegradationLevel exactly when a hot-swap or rung change landed
+	// while the run was serving; callers that need one label for the run
+	// should treat a first/final mismatch as "mixed".
+	FinalAlgorithm        string
+	FinalDegradationLevel int
 	// Shards is how many flow-affinity shards served the run (1 when the
 	// legacy worker-pool path served it).
 	Shards int
@@ -299,6 +315,9 @@ func RunContext(ctx context.Context, cl Classifier, cfg Config, headers []rules.
 
 	var wg sync.WaitGroup
 	var panics, busyNanos atomic.Int64
+	// The unsharded pipeline is one logical shard: all workers record
+	// into metrics slot 0 (per-batch atomic adds, contention-tolerant).
+	sm := cfg.Metrics.shard(0)
 	for w := 0; w < cfg.Workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -311,6 +330,7 @@ func RunContext(ctx context.Context, cl Classifier, cfg Config, headers []rules.
 			}
 			var busy time.Duration
 			for j := range jobs {
+				queued := len(jobs)
 				out := pool.Get().(*resultBatch)
 				out.rs = out.rs[:len(j.hs)]
 				if err := ctx.Err(); err != nil {
@@ -319,10 +339,15 @@ func RunContext(ctx context.Context, cl Classifier, cfg Config, headers []rules.
 					for i, h := range j.hs {
 						out.rs[i] = Result{Seq: j.seq + uint64(i), Header: h, Match: -1, Err: err}
 					}
+					sm.addCanceled(uint64(len(j.hs)))
 				} else {
 					start := time.Now()
-					panics.Add(classifyBatch(cl, bc, j.seq, j.hs, out.rs, matches))
-					busy += time.Since(start)
+					p := classifyBatch(cl, bc, j.seq, j.hs, out.rs, matches)
+					d := time.Since(start)
+					panics.Add(p)
+					busy += d
+					sm.recordBatch(len(j.hs), d, queued)
+					sm.addPanics(uint64(p))
 				}
 				results <- out
 			}
@@ -337,6 +362,7 @@ func RunContext(ctx context.Context, cl Classifier, cfg Config, headers []rules.
 		for i := 0; i < n; i += cfg.BatchSize {
 			if ctx.Err() != nil {
 				undispatched.Store(int64(n - i))
+				cfg.Metrics.recordUndispatched(uint64(n - i))
 				return
 			}
 			end := i + cfg.BatchSize
@@ -356,6 +382,7 @@ func RunContext(ctx context.Context, cl Classifier, cfg Config, headers []rules.
 					for k, h := range j.hs {
 						out.rs[k] = Result{Seq: j.seq + uint64(k), Header: h, Match: -1, Err: ErrShed}
 					}
+					sm.addShed(uint64(len(j.hs)))
 					results <- out
 				}
 				continue
@@ -369,11 +396,13 @@ func RunContext(ctx context.Context, cl Classifier, cfg Config, headers []rules.
 	}()
 
 	st := Stats{Shards: 1}
-	if d, ok := cl.(Describer); ok {
+	d, describes := cl.(Describer)
+	if describes {
 		st.Algorithm, st.DegradationLevel = d.DescribeAlgorithm()
 	}
 	em := &emitter{st: &st, emit: emit}
 	emitOne := em.one
+	reorderHeld := cfg.Metrics.reorderHeldHist()
 
 	if cfg.PreserveOrder {
 		// Reorder stage: hold completed results until their predecessors
@@ -392,6 +421,7 @@ func RunContext(ctx context.Context, cl Classifier, cfg Config, headers []rules.
 				}
 				ring.drain(emitOne)
 			}
+			reorderHeld.Observe(uint64(ring.held))
 			out.rs = out.rs[:0]
 			pool.Put(out)
 		}
@@ -406,6 +436,11 @@ func RunContext(ctx context.Context, cl Classifier, cfg Config, headers []rules.
 			out.rs = out.rs[:0]
 			pool.Put(out)
 		}
+	}
+	if describes {
+		// Re-sampled after the last result drained so a mid-run hot-swap
+		// or rung change is visible as Algorithm != FinalAlgorithm.
+		st.FinalAlgorithm, st.FinalDegradationLevel = d.DescribeAlgorithm()
 	}
 	st.Panics = int(panics.Load())
 	st.Canceled += int(undispatched.Load())

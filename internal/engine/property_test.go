@@ -1,0 +1,166 @@
+// Accounting-identity property test: on every serving path, under every
+// overload policy and failure mode, each packet offered to the engine is
+// accounted exactly once —
+//
+//	matched + no-match + shed + canceled + panicked == offered
+//
+// with the matched/no-match split read from the emitted results and the
+// rest cross-checked against Stats. Packet counts are deliberately not
+// multiples of BatchSize, so the final short batch and the pending-batch
+// flush paths are always exercised.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+// tally classifies one run's emissions into the identity's buckets.
+type tally struct {
+	matched, noMatch, shed, canceled, panicked int
+}
+
+func (a *tally) add(r Result) error {
+	var pe *PanicError
+	switch {
+	case r.Err == nil && r.Match >= 0:
+		a.matched++
+	case r.Err == nil:
+		a.noMatch++
+	case errors.Is(r.Err, ErrShed):
+		a.shed++
+	case errors.As(r.Err, &pe):
+		a.panicked++
+	default:
+		a.canceled++
+	}
+	if r.Err != nil && r.Match != -1 {
+		return fmt.Errorf("seq %d: failed result carries match %d", r.Seq, r.Match)
+	}
+	return nil
+}
+
+// check asserts the identity and the Stats cross-checks for one run.
+// Stats.Canceled may exceed the emitted canceled count by the
+// undispatched tail (counted, never emitted); everything else must agree
+// with the emissions exactly.
+func (a *tally) check(t *testing.T, st Stats, offered int) {
+	t.Helper()
+	if st.Packets != a.matched+a.noMatch {
+		t.Errorf("Stats.Packets = %d, emitted %d matched + %d no-match",
+			st.Packets, a.matched, a.noMatch)
+	}
+	if st.Shed != a.shed {
+		t.Errorf("Stats.Shed = %d, emitted %d", st.Shed, a.shed)
+	}
+	if st.Panics != a.panicked {
+		t.Errorf("Stats.Panics = %d, emitted %d", st.Panics, a.panicked)
+	}
+	if st.Canceled < a.canceled {
+		t.Errorf("Stats.Canceled = %d < %d emitted canceled", st.Canceled, a.canceled)
+	}
+	if got := st.Packets + st.Shed + st.Panics + st.Canceled; got != offered {
+		t.Errorf("identity: %d matched+no-match + %d shed + %d panicked + %d canceled = %d, want %d offered",
+			st.Packets, st.Shed, st.Panics, st.Canceled, got, offered)
+	}
+}
+
+func TestAccountingIdentityProperty(t *testing.T) {
+	_, tree, headers := fixtures(t, 4097)
+	shardCounts := []int{1, 3, 8}
+	policies := []OverloadPolicy{OverloadBlock, OverloadShed}
+
+	// Clean and panicky runs: every shard count × overload policy ×
+	// batch-unaligned packet count, ordered and unordered.
+	for _, n := range []int{257, 1037, 4097} {
+		hs := headers[:n]
+		for _, shards := range shardCounts {
+			for _, policy := range policies {
+				for _, ordered := range []bool{true, false} {
+					cfg := Config{Shards: shards, BatchSize: 16, Overload: policy,
+						PreserveOrder: ordered, Metrics: NewMetrics(8)}
+					t.Run(fmt.Sprintf("clean/n=%d/shards=%d/%v/ordered=%v", n, shards, policy, ordered), func(t *testing.T) {
+						var a tally
+						st, err := Run(tree, cfg, hs, func(r Result) {
+							if e := a.add(r); e != nil {
+								t.Error(e)
+							}
+						})
+						if err != nil {
+							t.Fatal(err)
+						}
+						a.check(t, st, n)
+						if a.matched == 0 {
+							t.Error("trace with 0.9 match fraction matched nothing")
+						}
+					})
+				}
+				t.Run(fmt.Sprintf("panicky/n=%d/shards=%d/%v", n, shards, policy), func(t *testing.T) {
+					cl := &faultinject.PanickyClassifier{Inner: tree, EveryN: 61}
+					var a tally
+					st, err := Run(cl, Config{Shards: shards, BatchSize: 16, Overload: policy, PreserveOrder: true},
+						hs, func(r Result) {
+							if e := a.add(r); e != nil {
+								t.Error(e)
+							}
+						})
+					if err == nil {
+						t.Fatal("contained panics must surface as a run error")
+					}
+					a.check(t, st, n)
+					if a.panicked == 0 {
+						t.Error("panic injection every 61 packets produced no panicked results")
+					}
+				})
+			}
+		}
+	}
+
+	// Shed runs: one-deep rings and a dawdling classifier force tail
+	// drops on every shard count.
+	for _, shards := range shardCounts {
+		t.Run(fmt.Sprintf("shed/shards=%d", shards), func(t *testing.T) {
+			slow := &faultinject.SlowClassifier{Inner: tree, EveryN: 1, Delay: 20 * time.Microsecond}
+			var a tally
+			st, err := Run(slow, Config{Shards: shards, QueueDepth: 1, BatchSize: 16, Overload: OverloadShed},
+				headers[:1037], func(r Result) {
+					if e := a.add(r); e != nil {
+						t.Error(e)
+					}
+				})
+			if err != nil {
+				t.Fatal(err)
+			}
+			a.check(t, st, 1037)
+		})
+	}
+
+	// Deadline runs: a deadline far shorter than the classification work
+	// cancels packets mid-run; the identity must still hold exactly.
+	for _, shards := range shardCounts {
+		t.Run(fmt.Sprintf("deadline/shards=%d", shards), func(t *testing.T) {
+			slow := &faultinject.SlowClassifier{Inner: tree, EveryN: 1, Delay: 50 * time.Microsecond}
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+			defer cancel()
+			var a tally
+			st, err := RunContext(ctx, slow, Config{Shards: shards, BatchSize: 16, PreserveOrder: true},
+				headers[:4097], func(r Result) {
+					if e := a.add(r); e != nil {
+						t.Error(e)
+					}
+				})
+			if err == nil {
+				t.Fatal("expected a cancellation error")
+			}
+			a.check(t, st, 4097)
+			if st.Canceled == 0 {
+				t.Error("a 10ms deadline against ~200ms of work canceled nothing")
+			}
+		})
+	}
+}

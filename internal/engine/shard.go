@@ -14,14 +14,23 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/flowcache"
+	"repro/internal/obs"
 	"repro/internal/rules"
 )
+
+// newFlowCache is flowcache.New behind a package variable so tests can
+// inject construction failures at a chosen shard (the goroutine-leak
+// regression in lifecycle_test.go).
+var newFlowCache = func(cl Classifier, flows int) (*flowcache.Cache, error) {
+	return flowcache.New(cl, flows)
+}
 
 // generationProvider is implemented by classifiers that version their
 // rule set (update.Manager). Shards poll it to invalidate their private
@@ -77,6 +86,14 @@ type shard struct {
 	// goroutine; published to the emission goroutine by the results-close
 	// happens-before edge.
 	busy time.Duration
+
+	// m is the shard's instrument block and events the flight recorder
+	// (both nil when Config.Metrics is unset). lastHits / lastMisses hold
+	// the flow cache's previous counter readings so hits and misses are
+	// exported as per-batch deltas without adding atomics to the cache.
+	m                    *shardMetrics
+	events               *obs.Ring
+	lastHits, lastMisses uint64
 }
 
 // serve is the shard's loop: drain the job ring, classify each batch with
@@ -87,6 +104,7 @@ type shard struct {
 func (s *shard) serve(ctx context.Context, results chan<- *resultBatch, panics *atomic.Int64) {
 	var matches []int
 	for j := range s.jobs {
+		queued := len(s.jobs)
 		out := s.resPool.Get().(*resultBatch)
 		out.home = &s.resPool
 		out.rs = out.rs[:len(j.hs)]
@@ -94,13 +112,24 @@ func (s *shard) serve(ctx context.Context, results chan<- *resultBatch, panics *
 			for i, h := range j.hs {
 				out.rs[i] = Result{Seq: j.seqs[i], Header: h, Match: -1, Err: err}
 			}
+			s.m.addCanceled(uint64(len(j.hs)))
 		} else {
 			if matches == nil && (s.bc != nil || s.cache != nil) {
 				matches = make([]int, cap(j.hs))
 			}
 			start := time.Now()
-			panics.Add(s.classifyJob(j, out.rs, matches))
-			s.busy += time.Since(start)
+			p := s.classifyJob(j, out.rs, matches)
+			busy := time.Since(start)
+			panics.Add(p)
+			s.busy += busy
+			if s.m != nil {
+				s.m.recordBatch(len(j.hs), busy, queued)
+				s.m.addPanics(uint64(p))
+				if s.cache != nil {
+					hits, misses := s.cache.Stats()
+					s.m.recordCache(hits, misses, &s.lastHits, &s.lastMisses)
+				}
+			}
 		}
 		j.seqs, j.hs = j.seqs[:0], j.hs[:0]
 		s.jobPool.Put(j)
@@ -128,6 +157,10 @@ func (s *shard) classifyJob(j *shardJob, rs []Result, matches []int) int64 {
 			if gen != s.lastGen {
 				s.cache.Invalidate()
 				s.lastGen = gen
+				// Rare by design (once per hot-swap per shard), so the
+				// formatted event record stays off the steady-state path.
+				s.events.Recordf(obs.EventCacheInvalidate,
+					"shard flow cache invalidated at generation %d", gen)
 			}
 		}
 		n := classifyBatchSeqs(s.cache, s.cache, j.seqs, j.hs, rs, matches)
@@ -167,9 +200,12 @@ func runSharded(ctx context.Context, cl Classifier, cfg Config, headers []rules.
 	results := make(chan *resultBatch, cfg.QueueDepth)
 	bc, _ := cl.(BatchClassifier)
 
+	// Construct and validate every shard before launching any goroutine.
+	// The launch must not be folded into this loop: if shard i's flow
+	// cache fails to construct after shards 0..i-1 started serving, those
+	// goroutines would block forever on their never-closed job rings —
+	// nothing in the early-return path would ever close them.
 	shards := make([]*shard, nShards)
-	var wg sync.WaitGroup
-	var panics atomic.Int64
 	for i := range shards {
 		s := &shard{jobs: make(chan *shardJob, cfg.QueueDepth), cl: cl, bc: bc}
 		s.jobPool.New = func() any {
@@ -182,9 +218,9 @@ func runSharded(ctx context.Context, cl Classifier, cfg Config, headers []rules.
 			return &resultBatch{rs: make([]Result, 0, cfg.BatchSize)}
 		}
 		if cfg.FlowCacheFlows > 0 {
-			c, err := flowcache.New(cl, cfg.FlowCacheFlows)
+			c, err := newFlowCache(cl, cfg.FlowCacheFlows)
 			if err != nil {
-				return Stats{}, err
+				return Stats{}, fmt.Errorf("engine: shard %d flow cache: %w", i, err)
 			}
 			s.cache = c
 			s.gen, _ = cl.(generationProvider)
@@ -192,7 +228,15 @@ func runSharded(ctx context.Context, cl Classifier, cfg Config, headers []rules.
 				s.lastGen = s.gen.Generation()
 			}
 		}
+		if cfg.Metrics != nil {
+			s.m = cfg.Metrics.shard(i)
+			s.events = cfg.Metrics.events
+		}
 		shards[i] = s
+	}
+	var wg sync.WaitGroup
+	var panics atomic.Int64
+	for _, s := range shards {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -208,6 +252,11 @@ func runSharded(ctx context.Context, cl Classifier, cfg Config, headers []rules.
 		out.rs = out.rs[:len(j.hs)]
 		for k, h := range j.hs {
 			out.rs[k] = Result{Seq: j.seqs[k], Header: h, Match: -1, Err: err}
+		}
+		if errors.Is(err, ErrShed) {
+			s.m.addShed(uint64(len(j.hs)))
+		} else {
+			s.m.addCanceled(uint64(len(j.hs)))
 		}
 		j.seqs, j.hs = j.seqs[:0], j.hs[:0]
 		s.jobPool.Put(j)
@@ -235,6 +284,7 @@ func runSharded(ctx context.Context, cl Classifier, cfg Config, headers []rules.
 			if i%cfg.BatchSize == 0 {
 				if err := ctx.Err(); err != nil {
 					undispatched.Store(int64(n - i))
+					cfg.Metrics.recordUndispatched(uint64(n - i))
 					for si, j := range pending {
 						if j != nil {
 							shedJob(shards[si], j, err)
@@ -288,11 +338,13 @@ func runSharded(ctx context.Context, cl Classifier, cfg Config, headers []rules.
 	}()
 
 	st := Stats{Shards: nShards}
-	if d, ok := cl.(Describer); ok {
+	d, describes := cl.(Describer)
+	if describes {
 		st.Algorithm, st.DegradationLevel = d.DescribeAlgorithm()
 	}
 	em := &emitter{st: &st, emit: emit}
 	emitOne := em.one
+	reorderHeld := cfg.Metrics.reorderHeldHist()
 
 	if cfg.PreserveOrder {
 		// Cross-shard sequencer: shards finish batches in any relative
@@ -308,6 +360,7 @@ func runSharded(ctx context.Context, cl Classifier, cfg Config, headers []rules.
 				}
 				ring.drain(emitOne)
 			}
+			reorderHeld.Observe(uint64(ring.held))
 			out.rs = out.rs[:0]
 			out.home.Put(out)
 		}
@@ -322,6 +375,13 @@ func runSharded(ctx context.Context, cl Classifier, cfg Config, headers []rules.
 			out.rs = out.rs[:0]
 			out.home.Put(out)
 		}
+	}
+	if describes {
+		// Re-sample after the last result drained: a hot-swap or rung
+		// change that landed mid-run shows up as First != Final. The old
+		// single pre-serving sample silently misattributed whole runs to
+		// an algorithm that stopped serving moments in.
+		st.FinalAlgorithm, st.FinalDegradationLevel = d.DescribeAlgorithm()
 	}
 	st.Panics = int(panics.Load())
 	st.Canceled += int(undispatched.Load())

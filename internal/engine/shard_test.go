@@ -11,6 +11,7 @@ import (
 	"repro/internal/expcuts"
 	"repro/internal/faultinject"
 	"repro/internal/flowcache"
+	"repro/internal/obs"
 	"repro/internal/rules"
 	"repro/internal/update"
 )
@@ -363,5 +364,29 @@ func TestShardedHotPathDoesNotAllocate(t *testing.T) {
 		sc.classifyJob(j, rsBuf, matches)
 	}); n != 0 {
 		t.Errorf("sharded flow-cache hit path allocates %v/op, want 0", n)
+	}
+
+	// Same two paths with the full per-batch instrumentation sequence the
+	// serve loop runs when Config.Metrics is set: classify, recordBatch,
+	// panic and cache-delta recording. Metrics on must not buy back the
+	// allocations the pools eliminated.
+	m := NewMetrics(4)
+	s.m, sc.m = m.shard(0), m.shard(1)
+	sc.events = obs.NewRing(16)
+	if n := testing.AllocsPerRun(100, func() {
+		p := s.classifyJob(j, rsBuf, matches)
+		s.m.recordBatch(len(j.hs), time.Microsecond, 1)
+		s.m.addPanics(uint64(p))
+	}); n != 0 {
+		t.Errorf("instrumented arena batch walk allocates %v/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		p := sc.classifyJob(j, rsBuf, matches)
+		sc.m.recordBatch(len(j.hs), time.Microsecond, 1)
+		sc.m.addPanics(uint64(p))
+		hits, misses := sc.cache.Stats()
+		sc.m.recordCache(hits, misses, &sc.lastHits, &sc.lastMisses)
+	}); n != 0 {
+		t.Errorf("instrumented flow-cache hit path allocates %v/op, want 0", n)
 	}
 }

@@ -20,6 +20,7 @@ package flowcache
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/rules"
 )
@@ -70,10 +71,30 @@ type Cache struct {
 	missOut []int
 }
 
+// MaxCapacity is the largest cache capacity New accepts. The recency
+// list links slab slots with int32 indices (the whole point of the slab
+// layout), so a capacity beyond MaxInt32 would silently truncate links;
+// it is also ~80 GB of slab, far past "absurd" for a per-shard cache.
+const MaxCapacity = math.MaxInt32
+
+// CapacityError reports a cache capacity outside [1, MaxCapacity]. It is
+// a typed error so construction sites (the engine's per-shard cache
+// setup) can tell a misconfigured capacity from an environmental failure.
+type CapacityError struct {
+	// Capacity is the rejected value.
+	Capacity int
+}
+
+func (e *CapacityError) Error() string {
+	return fmt.Sprintf("flowcache: capacity %d outside [1, %d]", e.Capacity, int(MaxCapacity))
+}
+
 // New wraps the classifier with a cache of the given capacity (flows).
+// Capacities outside [1, MaxCapacity] are rejected with a *CapacityError:
+// the slab's int32 recency links cannot address more than MaxInt32 slots.
 func New(slow Classifier, capacity int) (*Cache, error) {
-	if capacity < 1 {
-		return nil, fmt.Errorf("flowcache: capacity must be >= 1, got %d", capacity)
+	if capacity < 1 || int64(capacity) > int64(MaxCapacity) {
+		return nil, &CapacityError{Capacity: capacity}
 	}
 	c := &Cache{
 		slow:     slow,

@@ -1,6 +1,7 @@
 package flowcache
 
 import (
+	"errors"
 	"math/rand"
 	"runtime/debug"
 	"testing"
@@ -154,6 +155,33 @@ func TestCapacityValidation(t *testing.T) {
 	if _, err := New(slow, 0); err == nil {
 		t.Error("capacity 0 should fail")
 	}
+}
+
+// TestCapacityOverflowRejected pins the int32 slab-link bound: a
+// capacity beyond MaxCapacity would silently truncate the recency
+// links (and try to allocate an absurd slab), so New must refuse it
+// with a typed *CapacityError instead of constructing a corrupt cache.
+func TestCapacityOverflowRejected(t *testing.T) {
+	_, slow := fixtures(t)
+	over := MaxCapacity // runtime increment so the literal compiles on any int width
+	over++
+	maxInt := int(^uint(0) >> 1)
+	for _, capacity := range []int{-1, 0, over, maxInt} {
+		_, err := New(slow, capacity)
+		if err == nil {
+			t.Fatalf("capacity %d accepted, want *CapacityError", capacity)
+		}
+		var ce *CapacityError
+		if !errors.As(err, &ce) {
+			t.Fatalf("capacity %d: error %T (%v), want *CapacityError", capacity, err, err)
+		}
+		if ce.Capacity != capacity {
+			t.Errorf("CapacityError.Capacity = %d, want %d", ce.Capacity, capacity)
+		}
+	}
+	// The boundary value MaxCapacity itself is legal; constructing that
+	// slab would OOM the test host, so the first rejected value above
+	// (MaxCapacity+1) is what pins the upper bound off-by-one.
 }
 
 // countingBatchClassifier also implements ClassifyBatch, counting

@@ -1,0 +1,162 @@
+// Package obs is the repository's zero-allocation observability layer:
+// shard-local counters and fixed-bucket histograms for the serving and
+// build stacks, a registry with Prometheus text + expvar exposition, and
+// a lock-free event ring that doubles as a flight recorder.
+//
+// The design target is the paper's own evaluation discipline — per-ME
+// utilization and worst-case memory accesses, not averages — applied to
+// the Go runtime: every instrument is register-and-forget. Hot paths
+// update preallocated atomic slots at batch granularity (never a lock,
+// never an allocation, never a per-packet synchronization), and all
+// aggregation — summing shards, bucket cumulation, ratio computation —
+// happens at snapshot time on the scrape path. A serving loop with
+// metrics enabled therefore runs the same instructions per packet as one
+// without, plus a handful of uncontended atomic adds per *batch*.
+//
+// Writers are expected to be shard-local: one goroutine owns one slot
+// group, so the atomics exist for the benefit of the snapshot reader
+// (and the race detector), not for cross-writer coordination. Slot
+// groups that belong to different writers should be separated by a
+// CachePad so two shards' counters never share a cache line — the
+// commodity-core translation of giving each microengine its own local
+// counter memory.
+//
+// All instrument methods are nil-receiver safe and become no-ops, so
+// instrumented code paths need no "metrics enabled?" branches beyond a
+// single pointer test at batch scope.
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// CachePad is padding the size of one cache line. Embed it between
+// per-writer instrument groups (e.g. between two shards' counter blocks)
+// so concurrent writers never false-share a line.
+type CachePad [64]byte
+
+// Counter is a monotonically increasing counter. Writers call Add/Inc;
+// the scrape path calls Load. The zero value is ready to use.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add adds n to the counter. Nil-safe: a nil counter is a no-op.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Load returns the current value (0 for a nil counter).
+func (c *Counter) Load() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-value instrument (set, not accumulated).
+type Gauge struct {
+	v atomic.Uint64
+}
+
+// Store sets the gauge. Nil-safe.
+func (g *Gauge) Store(n uint64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Load returns the current value (0 for a nil gauge).
+func (g *Gauge) Load() uint64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// HistBuckets is the fixed bucket count of every Hist. Buckets are
+// powers of two: bucket b counts observations v with bits.Len64(v) == b,
+// i.e. v in [2^(b-1), 2^b), with bucket 0 holding v == 0 and the last
+// bucket absorbing everything ≥ 2^(HistBuckets-2). 32 buckets span 1ns
+// to ~2s when observing nanoseconds, and 0 to ~10^9 when observing
+// occupancies — wide enough for every series the runtime records.
+const HistBuckets = 32
+
+// Hist is a fixed-bucket power-of-two histogram. Observation is two
+// atomic adds and a bit scan; there is no locking and no allocation,
+// ever. The zero value is ready to use.
+type Hist struct {
+	counts [HistBuckets]atomic.Uint64
+	sum    atomic.Uint64
+}
+
+// Observe records one observation of value v. Nil-safe.
+func (h *Hist) Observe(v uint64) { h.ObserveN(v, 1) }
+
+// ObserveN records n observations of value v in one shot — the batch
+// form serving loops use to attribute a batch's per-packet cost without
+// per-packet bookkeeping. Nil-safe.
+func (h *Hist) ObserveN(v, n uint64) {
+	if h == nil || n == 0 {
+		return
+	}
+	b := bits.Len64(v)
+	if b >= HistBuckets {
+		b = HistBuckets - 1
+	}
+	h.counts[b].Add(n)
+	h.sum.Add(v * n)
+}
+
+// HistSnapshot is a point-in-time copy of a Hist, taken bucket by bucket
+// on the scrape path (buckets are individually exact; the set is not one
+// atomic cut, which is irrelevant at scrape granularity).
+type HistSnapshot struct {
+	// Counts[b] is the number of observations in bucket b (see
+	// HistBuckets for the bucket bounds).
+	Counts [HistBuckets]uint64
+	// Count is the total number of observations.
+	Count uint64
+	// Sum is the sum of all observed values.
+	Sum uint64
+}
+
+// UpperBound returns bucket b's inclusive upper bound (2^b − 1); the
+// last bucket is unbounded (+Inf in Prometheus exposition).
+func UpperBound(b int) uint64 {
+	if b >= HistBuckets-1 {
+		return ^uint64(0)
+	}
+	return 1<<uint(b) - 1
+}
+
+// Snapshot copies the histogram (zero snapshot for a nil Hist).
+func (h *Hist) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	if h == nil {
+		return s
+	}
+	for b := range h.counts {
+		c := h.counts[b].Load()
+		s.Counts[b] = c
+		s.Count += c
+	}
+	s.Sum = h.sum.Load()
+	return s
+}
+
+// Mean returns the mean observed value (0 when empty).
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}

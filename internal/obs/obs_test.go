@@ -1,0 +1,248 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	var c Counter
+	c.Add(3)
+	c.Inc()
+	if got := c.Load(); got != 4 {
+		t.Fatalf("counter = %d, want 4", got)
+	}
+	var g Gauge
+	g.Store(7)
+	g.Store(5)
+	if got := g.Load(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+}
+
+func TestNilInstrumentsAreNoOps(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Hist
+	var r *Ring
+	c.Add(1)
+	c.Inc()
+	g.Store(1)
+	h.Observe(1)
+	h.ObserveN(1, 2)
+	r.Record("kind", "detail")
+	r.Recordf("kind", "x %d", 1)
+	if c.Load() != 0 || g.Load() != 0 || h.Snapshot().Count != 0 || r.Len() != 0 {
+		t.Fatal("nil instruments must read as zero")
+	}
+	if r.Snapshot() != nil || r.KindCounts() != nil {
+		t.Fatal("nil ring must snapshot empty")
+	}
+}
+
+// TestHistBuckets pins the power-of-two bucketing: value v lands in
+// bucket bits.Len64(v), and huge values clamp into the last bucket.
+func TestHistBuckets(t *testing.T) {
+	var h Hist
+	h.Observe(0)          // bucket 0
+	h.Observe(1)          // bucket 1
+	h.ObserveN(2, 2)      // bucket 2 (values in [2,4))
+	h.Observe(3)          // bucket 2
+	h.Observe(1 << 20)    // bucket 21
+	h.Observe(^uint64(0)) // clamps to last bucket
+	s := h.Snapshot()
+	if s.Counts[0] != 1 || s.Counts[1] != 1 || s.Counts[2] != 3 || s.Counts[21] != 1 || s.Counts[HistBuckets-1] != 1 {
+		t.Fatalf("bucket layout wrong: %v", s.Counts)
+	}
+	if s.Count != 7 {
+		t.Fatalf("count = %d, want 7", s.Count)
+	}
+	wantSum := uint64(1 + 2*2 + 3 + 1<<20)
+	wantSum += ^uint64(0) // wraps, matching the histogram's modular sum
+	if s.Sum != wantSum {
+		t.Fatalf("sum = %d, want %d", s.Sum, wantSum)
+	}
+	if UpperBound(2) != 3 || UpperBound(HistBuckets-1) != ^uint64(0) {
+		t.Fatal("UpperBound bounds wrong")
+	}
+}
+
+// TestInstrumentsDoNotAllocate is the hot-path contract: counter adds
+// and histogram observations must be allocation-free, always.
+func TestInstrumentsDoNotAllocate(t *testing.T) {
+	var c Counter
+	var h Hist
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Add(1)
+		h.Observe(1234)
+		h.ObserveN(99, 64)
+	}); n != 0 {
+		t.Fatalf("instrument updates allocate %v/op, want 0", n)
+	}
+}
+
+func TestRegistryPrometheusExposition(t *testing.T) {
+	reg := NewRegistry()
+	var h Hist
+	h.ObserveN(3, 4)
+	reg.Register(func(emit func(Sample)) {
+		emit(Sample{Name: "pc_test_packets_total", Help: "Packets.", Type: "counter",
+			Labels: []Label{{"shard", "1"}}, Value: 42})
+		emit(Sample{Name: "pc_test_packets_total", Help: "Packets.", Type: "counter",
+			Labels: []Label{{"shard", "0"}}, Value: 7})
+		hs := h.Snapshot()
+		emit(Sample{Name: "pc_test_latency_ns", Help: "Latency.", Type: "histogram", Hist: &hs})
+		emit(Sample{Name: "pc_test_ratio", Type: "gauge", Value: 0.5})
+	})
+	ring := NewRing(8)
+	ring.Record(EventSwap, "gen 2")
+	ring.Record(EventSwap, "gen 3")
+	reg.SetEvents(ring)
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE pc_test_packets_total counter",
+		`pc_test_packets_total{shard="0"} 7`,
+		`pc_test_packets_total{shard="1"} 42`,
+		"# TYPE pc_test_latency_ns histogram",
+		`pc_test_latency_ns_bucket{le="3"} 4`,
+		`pc_test_latency_ns_bucket{le="+Inf"} 4`,
+		"pc_test_latency_ns_sum 12",
+		"pc_test_latency_ns_count 4",
+		"pc_test_ratio 0.5",
+		`pc_events_total{kind="swap"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Series are sorted: shard="0" must precede shard="1".
+	if strings.Index(out, `shard="0"`) > strings.Index(out, `shard="1"`) {
+		t.Error("series not sorted by labels")
+	}
+	// HELP/TYPE emitted once per name.
+	if strings.Count(out, "# TYPE pc_test_packets_total counter") != 1 {
+		t.Error("TYPE emitted more than once for one name")
+	}
+}
+
+func TestRingWrapAndOrder(t *testing.T) {
+	ring := NewRing(4)
+	for i := 0; i < 10; i++ {
+		ring.Recordf("k", "event %d", i)
+	}
+	snap := ring.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("retained %d events, want 4", len(snap))
+	}
+	for i, e := range snap {
+		if want := uint64(6 + i); e.Seq != want {
+			t.Fatalf("snapshot[%d].Seq = %d, want %d", i, e.Seq, want)
+		}
+	}
+	if ring.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", ring.Len())
+	}
+	counts := ring.KindCounts()
+	if len(counts) != 1 || counts[0].Count != 10 {
+		t.Fatalf("kind counts = %v", counts)
+	}
+}
+
+// TestRingConcurrentRecord hammers the ring from many goroutines; the
+// race detector is the real assertion, plus sequence uniqueness in the
+// retained window.
+func TestRingConcurrentRecord(t *testing.T) {
+	ring := NewRing(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				ring.Record(EventSwap, "x")
+			}
+		}()
+	}
+	wg.Wait()
+	if ring.Len() != 4000 {
+		t.Fatalf("Len = %d, want 4000", ring.Len())
+	}
+	seen := map[uint64]bool{}
+	for _, e := range ring.Snapshot() {
+		if seen[e.Seq] {
+			t.Fatalf("duplicate seq %d in snapshot", e.Seq)
+		}
+		seen[e.Seq] = true
+	}
+}
+
+func TestServeEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register(func(emit func(Sample)) {
+		emit(Sample{Name: "pc_smoke_up", Type: "gauge", Value: 1})
+	})
+	ring := NewRing(8)
+	ring.Record(EventRollback, "test")
+	reg.SetEvents(ring)
+
+	srv, err := reg.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) string {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var b strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := resp.Body.Read(buf)
+			b.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return b.String()
+	}
+
+	if out := get("/metrics"); !strings.Contains(out, "pc_smoke_up 1") {
+		t.Errorf("/metrics missing series:\n%s", out)
+	}
+	if out := get("/debug/vars"); !strings.Contains(out, "pcobs") {
+		t.Errorf("/debug/vars missing pcobs:\n%s", out)
+	}
+	var events []Event
+	if err := json.Unmarshal([]byte(get("/events")), &events); err != nil {
+		t.Fatalf("/events not JSON: %v", err)
+	}
+	if len(events) != 1 || events[0].Kind != EventRollback {
+		t.Errorf("/events = %v", events)
+	}
+}
+
+// TestHandlerDirect exercises the bare /metrics handler without a
+// listener (what embedding servers mount).
+func TestHandlerDirect(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register(func(emit func(Sample)) {
+		emit(Sample{Name: "pc_x_total", Type: "counter", Value: 3})
+	})
+	rec := httptest.NewRecorder()
+	reg.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if !strings.Contains(rec.Body.String(), "pc_x_total 3") {
+		t.Errorf("handler output: %s", rec.Body.String())
+	}
+}

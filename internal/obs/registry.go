@@ -1,0 +1,289 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Label is one metric dimension (e.g. {shard, "3"}).
+type Label struct {
+	Key, Value string
+}
+
+// Sample is one exposed series at snapshot time. Counter and gauge
+// samples carry Value; histogram samples carry Hist instead.
+type Sample struct {
+	// Name is the Prometheus series name (e.g. "pc_engine_shard_busy_ns_total").
+	Name string
+	// Help is the one-line series description (emitted once per name).
+	Help string
+	// Type is "counter", "gauge" or "histogram".
+	Type string
+	// Labels are the series dimensions, in emission order.
+	Labels []Label
+	// Value is the sample value for counters and gauges.
+	Value float64
+	// Hist is the snapshot for histogram samples (nil otherwise).
+	Hist *HistSnapshot
+}
+
+// Collector emits a subsystem's samples at snapshot time. Collectors run
+// only on the scrape path; they may read atomics, take subsystem locks
+// and compute ratios freely — none of that cost touches serving.
+type Collector func(emit func(Sample))
+
+// Registry aggregates collectors and exposes them as Prometheus text,
+// expvar JSON and an HTTP endpoint. Registration is register-and-forget:
+// subsystems register once at setup and never interact with the registry
+// again; everything else happens at snapshot time.
+type Registry struct {
+	mu         sync.Mutex
+	collectors []Collector
+	ring       *Ring
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Register adds a collector. Nil-safe on both sides.
+func (r *Registry) Register(c Collector) {
+	if r == nil || c == nil {
+		return
+	}
+	r.mu.Lock()
+	r.collectors = append(r.collectors, c)
+	r.mu.Unlock()
+}
+
+// SetEvents attaches the flight-recorder ring: per-kind event counters
+// join the exposition (pc_events_total{kind=...}) and Serve gains an
+// /events JSON endpoint.
+func (r *Registry) SetEvents(ring *Ring) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.ring = ring
+	r.mu.Unlock()
+}
+
+// Events returns the attached flight-recorder ring (nil when unset).
+func (r *Registry) Events() *Ring {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ring
+}
+
+// Gather runs every collector and returns the samples sorted by name
+// then labels — the stable order both expositions emit.
+func (r *Registry) Gather() []Sample {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	collectors := append([]Collector(nil), r.collectors...)
+	ring := r.ring
+	r.mu.Unlock()
+
+	var samples []Sample
+	emit := func(s Sample) { samples = append(samples, s) }
+	for _, c := range collectors {
+		c(emit)
+	}
+	if ring != nil {
+		for _, kc := range ring.KindCounts() {
+			emit(Sample{
+				Name: "pc_events_total", Help: "Flight-recorder events by kind.",
+				Type:   "counter",
+				Labels: []Label{{"kind", kc.Kind}},
+				Value:  float64(kc.Count),
+			})
+		}
+	}
+	sort.SliceStable(samples, func(i, j int) bool {
+		if samples[i].Name != samples[j].Name {
+			return samples[i].Name < samples[j].Name
+		}
+		return labelString(samples[i].Labels) < labelString(samples[j].Labels)
+	})
+	return samples
+}
+
+// WritePrometheus writes the registry snapshot in Prometheus text
+// exposition format (HELP/TYPE emitted once per series name).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+	last := ""
+	for _, s := range r.Gather() {
+		if s.Name != last {
+			if s.Help != "" {
+				fmt.Fprintf(&b, "# HELP %s %s\n", s.Name, s.Help)
+			}
+			fmt.Fprintf(&b, "# TYPE %s %s\n", s.Name, s.Type)
+			last = s.Name
+		}
+		if s.Hist != nil {
+			writeHist(&b, s)
+			continue
+		}
+		fmt.Fprintf(&b, "%s%s %s\n", s.Name, labelString(s.Labels), formatValue(s.Value))
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeHist emits one histogram sample: cumulative le buckets up to the
+// highest occupied one, then +Inf, _sum and _count.
+func writeHist(b *strings.Builder, s Sample) {
+	top := 0
+	for i, c := range s.Hist.Counts {
+		if c > 0 {
+			top = i
+		}
+	}
+	cum := uint64(0)
+	for i := 0; i <= top; i++ {
+		cum += s.Hist.Counts[i]
+		fmt.Fprintf(b, "%s_bucket%s %d\n", s.Name, labelStringLe(s.Labels, fmt.Sprintf("%d", UpperBound(i))), cum)
+	}
+	fmt.Fprintf(b, "%s_bucket%s %d\n", s.Name, labelStringLe(s.Labels, "+Inf"), s.Hist.Count)
+	fmt.Fprintf(b, "%s_sum%s %d\n", s.Name, labelString(s.Labels), s.Hist.Sum)
+	fmt.Fprintf(b, "%s_count%s %d\n", s.Name, labelString(s.Labels), s.Hist.Count)
+}
+
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+func labelString(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Key, escapeLabel(l.Value))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func labelStringLe(labels []Label, le string) string {
+	all := make([]Label, 0, len(labels)+1)
+	all = append(all, labels...)
+	all = append(all, Label{"le", le})
+	return labelString(all)
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// Handler serves the Prometheus exposition.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+// expvar exposition: every registry that serves publishes into one
+// global expvar map ("pcobs"), keyed by series name + labels. expvar's
+// namespace is process-global, so publication is guarded by a Once.
+var (
+	expvarOnce sync.Once
+	expvarMu   sync.Mutex
+	expvarRegs []*Registry
+)
+
+// EnableExpvar adds this registry's snapshot to the process-wide "pcobs"
+// expvar variable (visible at /debug/vars). Safe to call repeatedly.
+func (r *Registry) EnableExpvar() {
+	if r == nil {
+		return
+	}
+	expvarMu.Lock()
+	for _, reg := range expvarRegs {
+		if reg == r {
+			expvarMu.Unlock()
+			return
+		}
+	}
+	expvarRegs = append(expvarRegs, r)
+	expvarMu.Unlock()
+	expvarOnce.Do(func() {
+		expvar.Publish("pcobs", expvar.Func(func() any {
+			expvarMu.Lock()
+			regs := append([]*Registry(nil), expvarRegs...)
+			expvarMu.Unlock()
+			out := map[string]any{}
+			for _, reg := range regs {
+				for _, s := range reg.Gather() {
+					key := s.Name + labelString(s.Labels)
+					if s.Hist != nil {
+						out[key] = map[string]any{"count": s.Hist.Count, "sum": s.Hist.Sum, "mean": s.Hist.Mean()}
+						continue
+					}
+					out[key] = s.Value
+				}
+			}
+			return out
+		}))
+	})
+}
+
+// Server is a running metrics listener (see Registry.Serve).
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Addr is the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// Serve starts an HTTP listener on addr exposing /metrics (Prometheus
+// text), /debug/vars (expvar, including the "pcobs" snapshot) and
+// /events (the flight-recorder ring as JSON, when one is attached via
+// SetEvents). The listener is opt-in plumbing for the -metrics flags of
+// the CLIs; nothing in the serving stack depends on it running.
+func (r *Registry) Serve(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listening on %s: %w", addr, err)
+	}
+	r.EnableExpvar()
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/events", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if ring := r.Events(); ring != nil {
+			ring.WriteJSON(w)
+			return
+		}
+		io.WriteString(w, "[]\n")
+	})
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return &Server{ln: ln, srv: srv}, nil
+}

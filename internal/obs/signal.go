@@ -1,0 +1,42 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// DumpOnSIGQUIT installs a SIGQUIT handler that writes the flight
+// recorder to w (stderr when nil) each time the signal arrives, without
+// terminating the process — the live "what just happened" read-out for a
+// serving binary. It replaces Go's default SIGQUIT stack dump for the
+// process; the returned stop function uninstalls the handler and
+// restores the default. Nil-safe: a nil ring returns a no-op stop.
+func DumpOnSIGQUIT(ring *Ring, w io.Writer) (stop func()) {
+	if ring == nil {
+		return func() {}
+	}
+	if w == nil {
+		w = os.Stderr
+	}
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGQUIT)
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-ch:
+				fmt.Fprintf(w, "obs: flight recorder (%d events recorded)\n", ring.Len())
+				ring.WriteJSON(w)
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() {
+		signal.Stop(ch)
+		close(done)
+	}
+}

@@ -58,13 +58,14 @@ func someOp() []Op {
 // fakeClock drives m.now deterministically.
 type fakeClock struct{ t time.Time }
 
-func (f *fakeClock) now() time.Time              { return f.t }
-func (f *fakeClock) advance(d time.Duration)     { f.t = f.t.Add(d) }
+func (f *fakeClock) now() time.Time          { return f.t }
+func (f *fakeClock) advance(d time.Duration) { f.t = f.t.Add(d) }
+
 // The base is the real now: constructor-time rebuilds run before the
 // fake clock is installed and stamp breakers with time.Now().
-func newFakeClock() *fakeClock { return &fakeClock{t: time.Now()} }
-func installClock(m *Manager, c *fakeClock)      { m.now = c.now }
-func quiet(m *Manager)                           { m.sleep = func(time.Duration) {} }
+func newFakeClock() *fakeClock              { return &fakeClock{t: time.Now()} }
+func installClock(m *Manager, c *fakeClock) { m.now = c.now }
+func quiet(m *Manager)                      { m.sleep = func(time.Duration) {} }
 func cfgFast(threshold int, cool time.Duration) Config {
 	return Config{MaxBuildAttempts: 1, BreakerThreshold: threshold, BreakerCooldown: cool}
 }

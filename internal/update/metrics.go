@@ -1,0 +1,50 @@
+package update
+
+import (
+	"repro/internal/obs"
+)
+
+// Collect is the obs.Collector for the manager: it snapshots Health on
+// the scrape path and emits it as pc_update_* series. Register it on a
+// registry with Register; the serving path is untouched — everything
+// here reads the same atomics Health does.
+func (m *Manager) Collect(emit func(obs.Sample)) {
+	h := m.Health()
+	gauge := func(name, help string, v float64) {
+		emit(obs.Sample{Name: name, Help: help, Type: "gauge", Value: v})
+	}
+	counter := func(name, help string, v uint64) {
+		emit(obs.Sample{Name: name, Help: help, Type: "counter", Value: float64(v)})
+	}
+	gauge("pc_update_generation", "Live rule-set generation number.", float64(h.Generation))
+	gauge("pc_update_rules", "Live generation rule count.", float64(h.Rules))
+	gauge("pc_update_memory_bytes", "Live classifier memory footprint.", float64(h.MemoryBytes))
+	gauge("pc_update_degradation_level", "Live ladder rung (0 = preferred builder).", float64(h.DegradationLevel))
+	counter("pc_update_build_retries_total", "Builder attempts beyond the first.", h.BuildRetries)
+	counter("pc_update_failed_builds_total", "Rebuilds whose builder never succeeded.", h.FailedBuilds)
+	counter("pc_update_failed_validations_total", "Candidates rejected by shadow validation.", h.FailedValidations)
+	counter("pc_update_rollbacks_total", "Successful rollbacks.", h.Rollbacks)
+	counter("pc_update_budget_trips_total", "Builds aborted by a buildgov budget.", h.BudgetTrips)
+	for _, b := range h.Breakers {
+		labels := []obs.Label{{Key: "rung", Value: b.Rung}}
+		open := 0.0
+		if b.State == "open" {
+			open = 1
+		}
+		emit(obs.Sample{Name: "pc_update_breaker_open",
+			Help: "1 when the rung's circuit breaker is open.", Type: "gauge",
+			Labels: labels, Value: open})
+		emit(obs.Sample{Name: "pc_update_breaker_failures",
+			Help: "Current consecutive-failure streak per rung.", Type: "gauge",
+			Labels: labels, Value: float64(b.ConsecutiveFailures)})
+	}
+}
+
+// Register registers the manager's collector on reg. Nil-safe on both
+// sides.
+func (m *Manager) Register(reg *obs.Registry) {
+	if m == nil || reg == nil {
+		return
+	}
+	reg.Register(m.Collect)
+}

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"repro/internal/buildgov"
+	"repro/internal/obs"
 	"repro/internal/pktgen"
 	"repro/internal/rules"
 )
@@ -121,6 +122,11 @@ type Config struct {
 	// before half-opening for one probe build; 0 means
 	// DefaultBreakerCooldown.
 	BreakerCooldown time.Duration
+	// Events, when non-nil, receives flight-recorder entries for the
+	// manager's lifecycle transitions: generation swaps, rollbacks, rung
+	// changes and circuit-breaker state changes. Events are recorded only
+	// on the (mutex-serialized) update path, never during lookups.
+	Events *obs.Ring
 }
 
 // Guard-rail defaults.
@@ -496,6 +502,8 @@ func (m *Manager) Rollback() error {
 	m.live.Store(&generation{cl: target.cl, rules: target.rules, gen: m.gen,
 		algo: target.algo, rung: target.rung})
 	m.rollbacks.Add(1)
+	m.cfg.Events.Recordf(obs.EventRollback,
+		"generation %d reinstates %s (rung %d)", m.gen, target.algo, target.rung)
 	m.clearError()
 	return nil
 }
@@ -520,6 +528,18 @@ func (m *Manager) rebuildLocked() error {
 		}}}
 	}
 	now := m.now()
+	// failRung records a rung failure on its breaker and emits a
+	// flight-recorder event exactly when the failure transitioned the
+	// breaker into the open state.
+	failRung := func(i int) {
+		before := m.breakers[i].state(now, m.cfg.BreakerThreshold)
+		m.breakers[i].fail(now, m.cfg.BreakerThreshold, m.cfg.BreakerCooldown)
+		if before != "open" && m.breakers[i].state(now, m.cfg.BreakerThreshold) == "open" {
+			m.cfg.Events.Recordf(obs.EventBreakerOpen,
+				"rung %s breaker opened after %d consecutive failures",
+				rungName(ladder, i), m.breakers[i].fails)
+		}
+	}
 	var failures []error
 	for i := range ladder {
 		// The final rung is always attempted: a servable generation
@@ -529,21 +549,29 @@ func (m *Manager) rebuildLocked() error {
 			failures = append(failures, fmt.Errorf("%s: breaker open", rungName(ladder, i)))
 			continue
 		}
+		if m.breakers[i].state(now, m.cfg.BreakerThreshold) == "half-open" {
+			m.cfg.Events.Recordf(obs.EventBreakerHalfOpen,
+				"rung %s breaker half-open, probing one build", rungName(ladder, i))
+		}
 		cl, err := m.buildRungWithRetry(ladder[i], rs)
 		if err != nil {
 			m.failedBuilds.Add(1)
 			if errors.Is(err, buildgov.ErrBudgetExceeded) {
 				m.budgetTrips.Add(1)
 			}
-			m.breakers[i].fail(now, m.cfg.BreakerThreshold, m.cfg.BreakerCooldown)
+			failRung(i)
 			failures = append(failures, fmt.Errorf("%s: %w", rungName(ladder, i), err))
 			continue
 		}
 		if err := m.validate(cl, rs); err != nil {
 			m.failedValidations.Add(1)
-			m.breakers[i].fail(now, m.cfg.BreakerThreshold, m.cfg.BreakerCooldown)
+			failRung(i)
 			failures = append(failures, fmt.Errorf("%s: %w", rungName(ladder, i), err))
 			continue
+		}
+		if m.breakers[i].state(now, m.cfg.BreakerThreshold) != "closed" {
+			m.cfg.Events.Recordf(obs.EventBreakerClose,
+				"rung %s breaker closed after successful build", rungName(ladder, i))
 		}
 		m.breakers[i].success()
 		algo := ladder[i].Name
@@ -555,10 +583,17 @@ func (m *Manager) rebuildLocked() error {
 			}
 		}
 		m.gen++
-		if cur := m.live.Load(); cur != nil {
+		cur := m.live.Load()
+		if cur != nil {
 			m.prev = cur
 		}
 		m.live.Store(&generation{cl: cl, rules: snapshot, gen: m.gen, algo: algo, rung: i})
+		m.cfg.Events.Recordf(obs.EventSwap,
+			"generation %d live: %s (rung %d, %d rules)", m.gen, algo, i, len(snapshot))
+		if cur != nil && cur.rung != i {
+			m.cfg.Events.Recordf(obs.EventRungChange,
+				"degradation level %d -> %d (%s -> %s)", cur.rung, i, cur.algo, algo)
+		}
 		return nil
 	}
 	return fmt.Errorf("update: every ladder rung failed: %w", errors.Join(failures...))

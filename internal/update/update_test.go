@@ -197,7 +197,7 @@ func TestInsertPositionClamping(t *testing.T) {
 	if snap[0] != r {
 		t.Error("negative position should clamp to 0")
 	}
-	if err := m.Apply([]Op{InsertAt(1 << 30, r)}); err != nil {
+	if err := m.Apply([]Op{InsertAt(1<<30, r)}); err != nil {
 		t.Fatal(err)
 	}
 	snap, _ = m.Snapshot()
