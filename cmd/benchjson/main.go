@@ -7,14 +7,17 @@
 // With -scaling the file also carries the multi-core serving curve:
 // batched ExpCuts at 1/2/4/8 shards, with measured wall-clock Mpps and
 // the critical-path projection (packets / busiest shard's classify
-// time). With -check FILE the tool instead re-measures the 1-shard
-// batched rows and exits non-zero if any algorithm regressed against
-// FILE beyond -tolerance — the benchstat-style gate CI runs.
+// time). With -churn it carries the live-update rows (BENCH_PR6.json):
+// serving Mpps quiet versus under sustained delta-layer edits, plus the
+// absorbed updates/sec. With -check FILE the tool instead re-measures
+// the rows the file tracks and exits non-zero if anything regressed
+// against FILE beyond -tolerance — the benchstat-style gate CI runs.
 //
 // Usage:
 //
-//	benchjson [-out BENCH_PR4.json] [-scaling] [-batch 64] [-packets 25000] [-seed 1]
+//	benchjson [-out BENCH_PR4.json] [-scaling] [-churn] [-batch 64] [-packets 25000] [-seed 1]
 //	benchjson -check BENCH_PR3.json [-tolerance 0.25]
+//	benchjson -check BENCH_PR6.json [-tolerance 0.25]
 package main
 
 import (
@@ -51,6 +54,12 @@ type baseline struct {
 	// MetricsOverhead records what the obs layer costs (metrics-on over
 	// metrics-off throughput) on the paths the baselines track.
 	MetricsOverhead []overheadRow `json:"metrics_overhead,omitempty"`
+	// Churn is the live-update comparison (present with -churn): serving
+	// throughput quiet versus under sustained delta-layer edits, plus the
+	// absorbed updates/sec.
+	Churn       []churnRow `json:"churn,omitempty"`
+	ChurnShards int        `json:"churn_shards,omitempty"`
+	ChurnNote   string     `json:"churn_note,omitempty"`
 }
 
 type row struct {
@@ -77,6 +86,14 @@ type overheadRow struct {
 	Ratio   float64 `json:"ratio"`
 }
 
+type churnRow struct {
+	Mode          string  `json:"mode"`
+	ServingMpps   float64 `json:"serving_mpps"`
+	UpdatesPerSec float64 `json:"updates_per_sec"`
+	Compactions   uint64  `json:"compactions"`
+	GOMAXPROCS    int     `json:"gomaxprocs"`
+}
+
 func main() {
 	out := flag.String("out", "BENCH_PR3.json", "output file ('-' for stdout)")
 	batch := flag.Int("batch", engine.DefaultBatchSize, "engine batch size for the batched runs")
@@ -88,6 +105,8 @@ func main() {
 	overheadTol := flag.Float64("metrics-overhead", 0.02,
 		"max throughput the obs layer may cost (-check fails when metrics-on/metrics-off < 1-this); negative skips the overhead gate")
 	overheadShards := flag.Int("overhead-shards", 4, "shard count for the sharded-critical overhead row")
+	churn := flag.Bool("churn", false, "also measure serving throughput under sustained delta-layer updates")
+	churnShards := flag.Int("churn-shards", 4, "shard count for the churn rows")
 	flag.Parse()
 
 	ctx := experiments.DefaultContext()
@@ -102,6 +121,10 @@ func main() {
 			os.Exit(1)
 		}
 		if err := checkOverhead(ctx, *batch, *overheadShards, *overheadTol); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		if err := checkChurn(*check, ctx, *batch, *tolerance); err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
@@ -154,6 +177,28 @@ func main() {
 		b.ScalingNote = "critical_path_mpps projects one core per shard (packets / busiest " +
 			"shard's classification time); measured_mpps is wall-clock on this host and is " +
 			"bounded by gomaxprocs, so on few cores the projection is the scaling signal"
+	}
+	if *churn {
+		b.Benchmark = "serve-churn"
+		rows, err := experiments.Churn(ctx, *batch, *churnShards)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		for _, r := range rows {
+			b.Churn = append(b.Churn, churnRow{
+				Mode:          r.Mode,
+				ServingMpps:   round2(r.ServingMpps),
+				UpdatesPerSec: round2(r.UpdatesPerSec),
+				Compactions:   r.Compactions,
+				GOMAXPROCS:    runtime.GOMAXPROCS(0),
+			})
+		}
+		b.ChurnShards = *churnShards
+		b.ChurnNote = "quiet and churn rows share one engine + update.Manager stack; the churn " +
+			"updater pushes semantically neutral single-op deltas as fast as the manager absorbs " +
+			"them, with background compactions folding mid-run, so the Mpps gap is the price of " +
+			"live updates on the serving path"
 	}
 	if *overheadTol >= 0 {
 		over, err := experiments.MetricsOverhead(ctx, *batch, *overheadShards)
@@ -277,6 +322,75 @@ func checkOverhead(ctx experiments.Context, batch, shards int, tol float64) erro
 		}
 	}
 	return fmt.Errorf("observability overhead exceeds budget twice:\n  %s", strings.Join(failures, "\n  "))
+}
+
+// checkChurn re-measures the live-update comparison when the baseline
+// file carries churn rows and fails if concurrent serving throughput or
+// the sustained update-absorption rate dropped more than tol relative to
+// the baseline. Files without churn rows (BENCH_PR3/PR4) skip the gate,
+// so one -check invocation works against every tracked baseline.
+func checkChurn(path string, ctx experiments.Context, batch int, tol float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parsing %s: %w", path, err)
+	}
+	if len(base.Churn) == 0 {
+		return nil
+	}
+	if base.BatchSize != 0 {
+		batch = base.BatchSize
+	}
+	if base.Packets != 0 {
+		ctx.Packets = base.Packets
+	}
+	if base.RuleSetSeed != 0 {
+		ctx.Seed = base.RuleSetSeed
+	}
+	shards := base.ChurnShards
+	if shards == 0 {
+		shards = 4
+	}
+	rows, err := experiments.Churn(ctx, batch, shards)
+	if err != nil {
+		return err
+	}
+	var failures []string
+	for _, want := range base.Churn {
+		for _, got := range rows {
+			if got.Mode != want.Mode {
+				continue
+			}
+			if want.ServingMpps > 0 {
+				ratio := got.ServingMpps / want.ServingMpps
+				fmt.Printf("churn/%-6s serving %.2f Mpps vs baseline %.2f (%.0f%%)\n",
+					got.Mode, got.ServingMpps, want.ServingMpps, ratio*100)
+				if ratio < 1-tol {
+					failures = append(failures,
+						fmt.Sprintf("%s serving %.2f Mpps < %.2f baseline - %.0f%% tolerance",
+							got.Mode, got.ServingMpps, want.ServingMpps, tol*100))
+				}
+			}
+			if want.UpdatesPerSec > 0 {
+				ratio := got.UpdatesPerSec / want.UpdatesPerSec
+				fmt.Printf("churn/%-6s updates %.0f/s vs baseline %.0f (%.0f%%)\n",
+					got.Mode, got.UpdatesPerSec, want.UpdatesPerSec, ratio*100)
+				if ratio < 1-tol {
+					failures = append(failures,
+						fmt.Sprintf("%s updates %.0f/s < %.0f baseline - %.0f%% tolerance",
+							got.Mode, got.UpdatesPerSec, want.UpdatesPerSec, tol*100))
+				}
+			}
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("live-update performance regressed vs %s:\n  %s", path, strings.Join(failures, "\n  "))
+	}
+	fmt.Printf("ok: churn rows within %.0f%% of %s\n", tol*100, path)
+	return nil
 }
 
 // cpuModel best-effort reads the host CPU model so baselines from

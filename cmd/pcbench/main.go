@@ -7,7 +7,8 @@
 //	pcbench -experiment fig6,fig9 -packets 50000
 //
 // Experiments: fig6 fig7 fig8 fig9 tab2 tab4 tab5
-// stride habs popcount binth sharing extended ladder serve scaling obs all
+// stride habs popcount binth sharing extended ladder serve scaling obs
+// churn all
 //
 // The ladder experiment walks every rule set (standard + pathological)
 // through the degradation ladder given by -ladder under the build budget
@@ -21,8 +22,12 @@
 // shard counts (the BENCH_PR4.json curve). The obs experiment prices
 // the observability layer itself: metrics-off versus metrics-on
 // throughput on the batched and sharded paths (the benchjson
-// -metrics-overhead gate runs the same measurement). -cpuprofile and
-// -memprofile write pprof profiles covering the selected experiments.
+// -metrics-overhead gate runs the same measurement). The churn
+// experiment serves the same set while a delta-layer updater pushes live
+// edits (-churn-shards sets the shard count) and reports concurrent
+// serving Mpps next to sustained updates/sec (the BENCH_PR6.json rows).
+// -cpuprofile and -memprofile write pprof profiles covering the selected
+// experiments.
 package main
 
 import (
@@ -41,7 +46,7 @@ import (
 
 func main() {
 	var (
-		which    = flag.String("experiment", "all", "comma-separated experiment list (fig6 fig7 fig8 fig9 tab2 tab4 tab5 stride habs popcount binth sharing extended ladder serve scaling obs all)")
+		which    = flag.String("experiment", "all", "comma-separated experiment list (fig6 fig7 fig8 fig9 tab2 tab4 tab5 stride habs popcount binth sharing extended ladder serve scaling obs churn all)")
 		packets  = flag.Int("packets", 25000, "packets per simulation")
 		traceLen = flag.Int("trace", 2000, "distinct headers per trace")
 		seed     = flag.Int64("seed", 1, "trace seed")
@@ -51,11 +56,12 @@ func main() {
 		buildMaxNodes = flag.Int("build-maxnodes", 0, "ladder: node/table-row budget per build attempt (0 = unlimited)")
 		ladderNames   = flag.String("ladder", "expcuts,hicuts,hsm,linear", "ladder: degradation rungs, best first")
 
-		batch      = flag.Int("batch", 0, "serve/scaling/obs: engine batch size (0 = engine default)")
-		shardList  = flag.String("shards", "1,2,4,8", "scaling: comma-separated shard counts")
-		obsShards  = flag.Int("obs-shards", 4, "obs: shard count for the sharded overhead row")
-		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile covering the selected experiments")
-		memProfile = flag.String("memprofile", "", "write a heap profile after the selected experiments")
+		batch       = flag.Int("batch", 0, "serve/scaling/obs: engine batch size (0 = engine default)")
+		shardList   = flag.String("shards", "1,2,4,8", "scaling: comma-separated shard counts")
+		obsShards   = flag.Int("obs-shards", 4, "obs: shard count for the sharded overhead row")
+		churnShards = flag.Int("churn-shards", 4, "churn: shard count for the live-update run")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile covering the selected experiments")
+		memProfile  = flag.String("memprofile", "", "write a heap profile after the selected experiments")
 
 		metricsAddr = flag.String("metrics", "", "serve /metrics, /debug/vars and /events on this addr while experiments run (process-level introspection; experiment engines stay uninstrumented so their numbers match the metrics-off baselines)")
 	)
@@ -197,6 +203,13 @@ func main() {
 				return "", err
 			}
 			return experiments.RenderMetricsOverhead(rows, *batch, *obsShards), nil
+		}},
+		{"churn", func() (string, error) {
+			rows, err := experiments.Churn(ctx, *batch, *churnShards)
+			if err != nil {
+				return "", err
+			}
+			return experiments.RenderChurn(rows, *batch, *churnShards), nil
 		}},
 	}
 

@@ -36,6 +36,9 @@ type shardMetrics struct {
 	// counters so the cache itself stays atomic-free.
 	cacheHits   obs.Counter
 	cacheMisses obs.Counter
+	// cacheBypasses counts batches served cache-free because generation
+	// churn outpaced the redo budget (see shard.classifyJob).
+	cacheBypasses obs.Counter
 	// batchFill observes packets per dispatched batch.
 	batchFill obs.Hist
 	// classifyNs observes per-packet classification nanoseconds,
@@ -88,6 +91,14 @@ func (sm *shardMetrics) addPanics(n uint64) {
 		return
 	}
 	sm.panics.Add(n)
+}
+
+// addCacheBypass counts one churn-forced cache-free batch. Nil-safe.
+func (sm *shardMetrics) addCacheBypass() {
+	if sm == nil {
+		return
+	}
+	sm.cacheBypasses.Inc()
 }
 
 // recordCache folds the flow cache's hit/miss counters into the exported
@@ -207,6 +218,10 @@ func (m *Metrics) Collect(emit func(obs.Sample)) {
 		hist("pc_engine_batch_fill", "Packets per served batch.", &sm.batchFill)
 		hist("pc_engine_classify_ns", "Per-packet classification time (ns, batch-mean attributed).", &sm.classifyNs)
 		hist("pc_engine_queue_depth", "Shard job-ring occupancy at batch pickup.", &sm.queueDepth)
+		if v := sm.cacheBypasses.Load(); v > 0 {
+			counter("pc_engine_cache_bypass_total",
+				"Batches served cache-free because generation churn outpaced the redo budget.", v)
+		}
 		hits, misses := sm.cacheHits.Load(), sm.cacheMisses.Load()
 		if hits+misses > 0 {
 			counter("pc_flowcache_hits_total", "Flow-cache hits per shard.", hits)

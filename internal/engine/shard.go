@@ -137,39 +137,59 @@ func (s *shard) serve(ctx context.Context, results chan<- *resultBatch, panics *
 	}
 }
 
+// maxGenRetries bounds how many times classifyJob re-runs a batch whose
+// generation moved underneath it before bypassing the cache. Two retries
+// absorb any isolated swap; only sustained churn (a delta apply every few
+// microseconds) exhausts them.
+const maxGenRetries = 3
+
 // classifyJob fills rs for one batch. Without a cache it is the sharded
 // twin of classifyBatch. With a cache, batches are classified under a
-// generation-stability protocol: read the generation, invalidate the
-// cache if it moved since the last batch, classify, and re-read. If the
-// generation changed underneath the batch, the batch is re-run — so on
-// exit every result of the batch (cache hits and misses alike) is
-// attributable to the single observed generation, and no batch on any
-// shard ever straddles a hot-swap. Generations are monotonic, so equal
-// reads bracket the whole batch.
+// generation-stability protocol: read the generation, stale the cache if
+// it moved since the last batch, classify, and re-read. If the generation
+// changed underneath the batch, the batch is re-run — so on exit every
+// result of the batch (cache hits and misses alike) is attributable to
+// the single observed generation, and no batch on any shard ever
+// straddles a hot-swap. Generations are monotonic, so equal reads bracket
+// the whole batch.
+//
+// Each generation change is absorbed with an O(1) epoch bump, not an
+// O(capacity) clear: delta-layer churn publishes a generation per edit
+// batch, and a per-edit full clear would dominate the serving loop. The
+// redo loop is bounded: under sustained churn the generation can move on
+// every re-read, and an unbounded loop would livelock the shard, so after
+// maxGenRetries the batch bypasses the cache entirely and classifies
+// against the raw classifier — update.Manager's ClassifyBatch is
+// internally coherent (one generation load per batch), so correctness
+// holds and only this batch's cache benefit is lost.
 func (s *shard) classifyJob(j *shardJob, rs []Result, matches []int) int64 {
 	if s.cache == nil {
 		return classifyBatchSeqs(s.cl, s.bc, j.seqs, j.hs, rs, matches)
 	}
-	for {
+	for attempt := 0; s.gen == nil || attempt < maxGenRetries; attempt++ {
 		var gen uint64
 		if s.gen != nil {
 			gen = s.gen.Generation()
 			if gen != s.lastGen {
-				s.cache.Invalidate()
+				s.cache.AdvanceEpoch()
 				s.lastGen = gen
 				// Rare by design (once per hot-swap per shard), so the
 				// formatted event record stays off the steady-state path.
 				s.events.Recordf(obs.EventCacheInvalidate,
-					"shard flow cache invalidated at generation %d", gen)
+					"shard flow cache epoch advanced at generation %d", gen)
 			}
 		}
 		n := classifyBatchSeqs(s.cache, s.cache, j.seqs, j.hs, rs, matches)
 		if s.gen == nil || s.gen.Generation() == gen {
 			return n
 		}
-		// A swap landed mid-batch: results may mix generations. Rare —
-		// loop and redo the batch against the settled generation.
+		// A swap landed mid-batch: results may mix generations. Loop and
+		// redo the batch against the settled generation.
 	}
+	// Churn outpaced the retry budget: serve this batch cache-free. The
+	// next batch re-enters the protocol (and stales the cache then).
+	s.m.addCacheBypass()
+	return classifyBatchSeqs(s.cl, s.bc, j.seqs, j.hs, rs, matches)
 }
 
 // classifyBatchSeqs is classifyBatch for scattered sequence numbers: the

@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/expcuts"
+	"repro/internal/rules"
+	"repro/internal/update"
+)
+
+// ChurnRow is one configuration of the live-update experiment: engine
+// serving throughput with a concurrent stream of delta-layer edits, next
+// to the sustained edit rate the manager absorbed while serving.
+type ChurnRow struct {
+	Mode          string  // "quiet" (no edits) or "churn"
+	ServingMpps   float64 // engine throughput while the mode ran
+	UpdatesPerSec float64 // sustained ApplyDelta ops/sec (0 when quiet)
+	Compactions   uint64  // background folds completed during the run
+	MaskScans     uint64  // lookups that crossed a delete mask
+}
+
+// churnCompactThreshold keeps compactions realistic but frequent enough
+// to land inside a benchmark run.
+const churnCompactThreshold = 512
+
+// Churn measures the cost of live rule updates on the serving path: the
+// same engine + update.Manager stack serves the ACL1K trace twice, once
+// quiet and once with an updater goroutine pushing single-op deltas
+// (an appended shadow rule flapped in and out — semantically neutral, so
+// every run serves identical answers) as fast as the manager absorbs
+// them, with background compactions folding the delta mid-run. The gap
+// between the two ServingMpps columns is the price of churn; the
+// UpdatesPerSec column is the sustained absorption rate paid for it.
+func Churn(ctx Context, batchSize, shards int) ([]ChurnRow, error) {
+	ctx.fillDefaults()
+	if batchSize == 0 {
+		batchSize = engine.DefaultBatchSize
+	}
+	rs, err := ServeRuleSet(ctx.Seed)
+	if err != nil {
+		return nil, err
+	}
+	trace, err := ctx.headers(rs)
+	if err != nil {
+		return nil, err
+	}
+	hs := make([]rules.Header, ctx.Packets)
+	for i := range hs {
+		hs[i] = trace[i%len(trace)]
+	}
+
+	m, err := update.NewManagerConfig(rs,
+		func(r *rules.RuleSet) (update.Classifier, error) {
+			return expcuts.New(r, expcuts.Config{})
+		},
+		update.Config{CompactThreshold: churnCompactThreshold, ValidateSamples: -1})
+	if err != nil {
+		return nil, err
+	}
+	cfg := engine.DefaultConfig()
+	cfg.BatchSize = batchSize
+	if shards > 0 {
+		cfg.Shards = shards
+	}
+
+	run := func(churn bool) (mpps, ups float64, err error) {
+		var bestElapsed time.Duration
+		var bestOps uint64
+		for rep := 0; rep < serveReps; rep++ {
+			var ops atomic.Uint64
+			stop := make(chan struct{})
+			done := make(chan error, 1)
+			if churn {
+				go func() {
+					dup := rs.Rules[0]
+					for {
+						select {
+						case <-stop:
+							done <- nil
+							return
+						default:
+						}
+						snap, _ := m.Snapshot()
+						n := len(snap)
+						if err := m.ApplyDelta([]update.Op{update.InsertAt(n, dup)}); err != nil {
+							done <- err
+							return
+						}
+						if err := m.ApplyDelta([]update.Op{update.DeleteAt(n)}); err != nil {
+							done <- err
+							return
+						}
+						ops.Add(2)
+					}
+				}()
+			}
+			start := time.Now()
+			_, runErr := engine.RunContext(context.Background(), m, cfg, hs, func(engine.Result) {})
+			elapsed := time.Since(start)
+			if churn {
+				close(stop)
+				if cerr := <-done; cerr != nil && runErr == nil {
+					runErr = fmt.Errorf("churn updater: %w", cerr)
+				}
+			}
+			if runErr != nil {
+				return 0, 0, runErr
+			}
+			if rep == 0 || elapsed < bestElapsed {
+				bestElapsed = elapsed
+				bestOps = ops.Load()
+			}
+		}
+		mpps = float64(len(hs)) / bestElapsed.Seconds() / 1e6
+		ups = float64(bestOps) / bestElapsed.Seconds()
+		return mpps, ups, nil
+	}
+
+	quietMpps, _, err := run(false)
+	if err != nil {
+		return nil, fmt.Errorf("churn: quiet run: %w", err)
+	}
+	hBefore := m.Health()
+	churnMpps, ups, err := run(true)
+	if err != nil {
+		return nil, fmt.Errorf("churn: churn run: %w", err)
+	}
+	if !m.Quiesce(30 * time.Second) {
+		return nil, fmt.Errorf("churn: manager did not quiesce after the run")
+	}
+	hAfter := m.Health()
+	return []ChurnRow{
+		{Mode: "quiet", ServingMpps: quietMpps},
+		{Mode: "churn", ServingMpps: churnMpps, UpdatesPerSec: ups,
+			Compactions: hAfter.Compactions - hBefore.Compactions,
+			MaskScans:   hAfter.MaskScans - hBefore.MaskScans},
+	}, nil
+}
+
+// RenderChurn formats the live-update rows.
+func RenderChurn(rows []ChurnRow, batchSize, shards int) string {
+	if batchSize == 0 {
+		batchSize = engine.DefaultBatchSize
+	}
+	table := make([][]string, len(rows))
+	for i, r := range rows {
+		table[i] = []string{
+			r.Mode,
+			fmt.Sprintf("%.2f", r.ServingMpps),
+			fmt.Sprintf("%.0f", r.UpdatesPerSec),
+			fmt.Sprintf("%d", r.Compactions),
+			fmt.Sprintf("%d", r.MaskScans),
+		}
+	}
+	return fmt.Sprintf("Live-update churn — ACL1K (%d rules), batch=%d, shards=%d\n%s",
+		ServeRuleSize, batchSize, shards,
+		renderTable([]string{"Mode", "Serving Mpps", "Updates/s", "Compactions", "Mask scans"}, table))
+}

@@ -1,0 +1,155 @@
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/rules"
+	"repro/internal/update"
+)
+
+// FlappingUpdater generates adversarial delta-churn bursts: the same
+// rules inserted and deleted again within a burst or two — the flapping
+// pattern that stresses positional remapping, delete masking, journal
+// replay and the tuple-space free list hardest, because almost every op
+// conflicts with a recent one instead of landing in fresh space.
+//
+// The updater keeps an exact local mirror of the rule list it believes
+// the manager holds, so every generated position is valid by
+// construction and CheckAccounting can verify the identity
+//
+//	len(live) == len(base) + inserts - deletes
+//
+// element-for-element after any number of bursts. It is deterministic
+// from its seed and is NOT safe for concurrent use: drive it from one
+// goroutine and feed the bursts to the manager in order.
+type FlappingUpdater struct {
+	rng    *rand.Rand
+	pool   []rules.Rule // rules flapped in and out
+	mirror []rules.Rule // what the manager's snapshot must equal
+	base   int          // starting rule count
+	minLen int          // never delete below this
+	// flapPos remembers where the last flap insert landed so the next
+	// burst can delete exactly that rule (cross-burst conflict).
+	flapPos int
+	inserts int
+	deletes int
+	bursts  int
+}
+
+// NewFlappingUpdater returns an updater over base (the manager's initial
+// snapshot) drawing flap rules from pool. Deterministic per seed.
+func NewFlappingUpdater(base, pool []rules.Rule, seed int64) *FlappingUpdater {
+	if len(pool) == 0 {
+		panic("faultinject: FlappingUpdater needs a non-empty rule pool")
+	}
+	minLen := len(base) / 2
+	if minLen < 1 {
+		minLen = 1
+	}
+	return &FlappingUpdater{
+		rng:     rand.New(rand.NewSource(seed)),
+		pool:    append([]rules.Rule(nil), pool...),
+		mirror:  append([]rules.Rule(nil), base...),
+		base:    len(base),
+		minLen:  minLen,
+		flapPos: -1,
+	}
+}
+
+// NextBurst generates the next burst of ops and applies it to the local
+// mirror. Bursts are deliberately conflict-heavy: roughly half are
+// insert-then-delete of the same rule (within the burst or against the
+// previous burst's insert); the rest drift the list size up and down.
+func (f *FlappingUpdater) NextBurst() []update.Op {
+	f.bursts++
+	var ops []update.Op
+	switch f.rng.Intn(4) {
+	case 0: // same-burst flap: insert a rule and delete it again at once
+		pos := f.rng.Intn(len(f.mirror) + 1)
+		r := f.pool[f.rng.Intn(len(f.pool))]
+		ops = append(ops, update.InsertAt(pos, r), update.DeleteAt(pos))
+		f.applyInsert(pos, r)
+		f.applyDelete(pos)
+	case 1: // cross-burst flap: insert now, schedule deletion next burst
+		if f.flapPos >= 0 && f.flapPos < len(f.mirror) && len(f.mirror) > f.minLen {
+			ops = append(ops, update.DeleteAt(f.flapPos))
+			f.applyDelete(f.flapPos)
+		}
+		pos := f.rng.Intn(len(f.mirror) + 1)
+		r := f.pool[f.rng.Intn(len(f.pool))]
+		ops = append(ops, update.InsertAt(pos, r))
+		f.applyInsert(pos, r)
+		f.flapPos = pos
+	case 2: // growth: a couple of plain inserts
+		for k := 0; k < 1+f.rng.Intn(2); k++ {
+			pos := f.rng.Intn(len(f.mirror) + 1)
+			r := f.pool[f.rng.Intn(len(f.pool))]
+			ops = append(ops, update.InsertAt(pos, r))
+			f.applyInsert(pos, r)
+			if pos <= f.flapPos {
+				f.flapPos++
+			}
+		}
+	default: // shrink: delete a random survivor (respecting the floor)
+		if len(f.mirror) > f.minLen {
+			pos := f.rng.Intn(len(f.mirror))
+			ops = append(ops, update.DeleteAt(pos))
+			f.applyDelete(pos)
+			if pos == f.flapPos {
+				f.flapPos = -1
+			} else if pos < f.flapPos {
+				f.flapPos--
+			}
+		} else {
+			pos := f.rng.Intn(len(f.mirror) + 1)
+			r := f.pool[f.rng.Intn(len(f.pool))]
+			ops = append(ops, update.InsertAt(pos, r))
+			f.applyInsert(pos, r)
+		}
+	}
+	return ops
+}
+
+func (f *FlappingUpdater) applyInsert(pos int, r rules.Rule) {
+	f.mirror = append(f.mirror, rules.Rule{})
+	copy(f.mirror[pos+1:], f.mirror[pos:])
+	f.mirror[pos] = r
+	f.inserts++
+}
+
+func (f *FlappingUpdater) applyDelete(pos int) {
+	f.mirror = append(f.mirror[:pos], f.mirror[pos+1:]...)
+	f.deletes++
+}
+
+// Mirror returns the rule list the manager must now hold (a copy).
+func (f *FlappingUpdater) Mirror() []rules.Rule {
+	return append([]rules.Rule(nil), f.mirror...)
+}
+
+// Bursts, Inserts and Deletes report lifetime totals.
+func (f *FlappingUpdater) Bursts() int  { return f.bursts }
+func (f *FlappingUpdater) Inserts() int { return f.inserts }
+func (f *FlappingUpdater) Deletes() int { return f.deletes }
+
+// CheckAccounting verifies the accounting identity against a live
+// snapshot: the size must satisfy base + inserts - deletes, and every
+// rule must match the mirror positionally. A non-nil error means an edit
+// was lost, doubled or landed at the wrong priority.
+func (f *FlappingUpdater) CheckAccounting(live []rules.Rule) error {
+	want := f.base + f.inserts - f.deletes
+	if len(f.mirror) != want {
+		return fmt.Errorf("faultinject: mirror corrupt: %d rules, identity says %d", len(f.mirror), want)
+	}
+	if len(live) != want {
+		return fmt.Errorf("faultinject: accounting identity broken: live %d rules, base %d + %d inserts - %d deletes = %d",
+			len(live), f.base, f.inserts, f.deletes, want)
+	}
+	for i := range live {
+		if live[i] != f.mirror[i] {
+			return fmt.Errorf("faultinject: rule %d diverged from mirror after %d bursts", i, f.bursts)
+		}
+	}
+	return nil
+}

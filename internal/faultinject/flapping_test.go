@@ -1,0 +1,129 @@
+package faultinject
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/expcuts"
+	"repro/internal/pktgen"
+	"repro/internal/rulegen"
+	"repro/internal/rules"
+	"repro/internal/update"
+)
+
+func flappingManager(t *testing.T) (*update.Manager, *rules.RuleSet, *rules.RuleSet) {
+	t.Helper()
+	base, err := rulegen.Generate(rulegen.Config{Kind: rulegen.Firewall, Size: 60, Seed: 901})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := rulegen.Generate(rulegen.Config{Kind: rulegen.Firewall, Size: 40, Seed: 902})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := update.NewManager(base, func(r *rules.RuleSet) (update.Classifier, error) {
+		return expcuts.New(r, expcuts.Config{})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, base, pool
+}
+
+func TestFlappingUpdaterDeterministic(t *testing.T) {
+	_, base, pool := flappingManager(t)
+	a := NewFlappingUpdater(base.Rules, pool.Rules, 11)
+	b := NewFlappingUpdater(base.Rules, pool.Rules, 11)
+	for i := 0; i < 50; i++ {
+		oa, ob := a.NextBurst(), b.NextBurst()
+		if len(oa) != len(ob) {
+			t.Fatalf("burst %d: lengths differ", i)
+		}
+		for j := range oa {
+			if oa[j].Insert != ob[j].Insert || oa[j].Pos != ob[j].Pos || oa[j].Rule != ob[j].Rule {
+				t.Fatalf("burst %d op %d: same seed, different op", i, j)
+			}
+		}
+	}
+	ma, mb := a.Mirror(), b.Mirror()
+	if len(ma) != len(mb) {
+		t.Fatal("same seed, different mirrors")
+	}
+	if err := a.CheckAccounting(ma); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFlappingChurnSoak drives conflict-heavy insert/delete bursts through
+// the delta layer while reader goroutines classify continuously — run
+// with -race. After the storm (including compactions folding mid-churn),
+// the accounting identity base + inserts - deletes must hold
+// element-for-element against the manager's snapshot, and classification
+// must agree with the linear oracle over the final list.
+func TestFlappingChurnSoak(t *testing.T) {
+	m, base, pool := flappingManager(t)
+	f := NewFlappingUpdater(base.Rules, pool.Rules, 903)
+	trace, err := pktgen.Generate(base, pktgen.Config{Count: 500, Seed: 904, MatchFraction: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := trace.Headers
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			out := make([]int, 64)
+			for i := w; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				m.Classify(hs[i%len(hs)])
+				lo := i % (len(hs) - 64)
+				m.ClassifyBatch(hs[lo:lo+64], out)
+			}
+		}(w)
+	}
+
+	bursts := 120
+	if testing.Short() {
+		bursts = 30
+	}
+	for i := 0; i < bursts; i++ {
+		if err := m.ApplyDelta(f.NextBurst()); err != nil {
+			t.Fatalf("burst %d: %v", i, err)
+		}
+		if i%25 == 24 {
+			if err := m.Compact(); err != nil && !errors.Is(err, update.ErrCompactionConflict) {
+				t.Fatalf("compact at burst %d: %v", i, err)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	snap, _ := m.Snapshot()
+	if err := f.CheckAccounting(snap); err != nil {
+		t.Fatal(err)
+	}
+	oracle := rules.NewRuleSet("oracle", snap)
+	for _, h := range hs {
+		if got, want := m.Classify(h), oracle.Match(h); got != want {
+			t.Fatalf("post-soak Classify = %d, oracle %d", got, want)
+		}
+	}
+	h := m.Health()
+	if h.DeltaApplies != uint64(bursts) {
+		t.Errorf("DeltaApplies = %d, want %d", h.DeltaApplies, bursts)
+	}
+	if h.Compactions == 0 {
+		t.Error("soak never folded a compaction")
+	}
+	t.Logf("soak: %d bursts (%d inserts, %d deletes), %d compactions, %d mask scans",
+		f.Bursts(), f.Inserts(), f.Deletes(), h.Compactions, h.MaskScans)
+}

@@ -1,0 +1,101 @@
+package flowcache
+
+import (
+	"testing"
+
+	"repro/internal/rules"
+)
+
+// switchable is a slow path whose answers can be changed under the cache,
+// standing in for a rule-set generation change.
+type switchable struct {
+	answer int
+	calls  int
+}
+
+func (s *switchable) Classify(rules.Header) int {
+	s.calls++
+	return s.answer
+}
+
+func TestAdvanceEpochStalesEverything(t *testing.T) {
+	slow := &switchable{answer: 7}
+	cache, err := New(slow, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := rules.Header{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, Proto: rules.ProtoTCP}
+	for i := 0; i < 5; i++ {
+		if got := cache.Classify(h); got != 7 {
+			t.Fatalf("Classify = %d, want 7", got)
+		}
+	}
+	if slow.calls != 1 {
+		t.Fatalf("slow path called %d times before epoch bump, want 1", slow.calls)
+	}
+
+	// The rule this flow matched is deleted: the slow path now answers
+	// differently. AdvanceEpoch must stop the cache from ever serving the
+	// stale decision again.
+	slow.answer = 3
+	cache.AdvanceEpoch()
+	if got := cache.Classify(h); got != 3 {
+		t.Fatalf("Classify after AdvanceEpoch = %d, want the fresh answer 3", got)
+	}
+	if slow.calls != 2 {
+		t.Fatalf("slow path called %d times, want exactly one re-lookup", slow.calls)
+	}
+	// The refreshed slot hits again at the new epoch.
+	if got := cache.Classify(h); got != 3 || slow.calls != 2 {
+		t.Fatalf("refreshed slot: got %d, slow calls %d", got, slow.calls)
+	}
+}
+
+func TestAdvanceEpochStalesBatchPath(t *testing.T) {
+	slow := &switchable{answer: 1}
+	cache, err := New(slow, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := []rules.Header{
+		{SrcIP: 1}, {SrcIP: 2}, {SrcIP: 3},
+	}
+	out := make([]int, len(hs))
+	cache.ClassifyBatch(hs, out)
+	cache.ClassifyBatch(hs, out)
+	if slow.calls != 3 {
+		t.Fatalf("slow calls = %d, want 3 (second batch all hits)", slow.calls)
+	}
+	slow.answer = 9
+	cache.AdvanceEpoch()
+	cache.ClassifyBatch(hs, out)
+	for i, v := range out {
+		if v != 9 {
+			t.Fatalf("out[%d] = %d after epoch bump, want 9", i, v)
+		}
+	}
+	if slow.calls != 6 {
+		t.Fatalf("slow calls = %d, want 6 (whole batch re-missed)", slow.calls)
+	}
+}
+
+func TestAdvanceEpochKeepsAllocationFreeSteadyState(t *testing.T) {
+	slow := &switchable{}
+	cache, err := New(slow, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := make([]rules.Header, 64)
+	for i := range hs {
+		hs[i] = rules.Header{SrcIP: uint32(i)}
+	}
+	out := make([]int, len(hs))
+	cache.ClassifyBatch(hs, out)
+	allocs := testing.AllocsPerRun(50, func() {
+		cache.AdvanceEpoch()
+		cache.ClassifyBatch(hs, out)
+	})
+	if allocs != 0 {
+		t.Errorf("epoch-bumped serving allocates %.1f/op, want 0", allocs)
+	}
+}

@@ -47,6 +47,7 @@ const none = int32(-1)
 type entry struct {
 	key        rules.Header
 	match      int
+	epoch      uint64
 	prev, next int32
 }
 
@@ -60,6 +61,11 @@ type Cache struct {
 	slab       []entry                // preallocated, len == capacity
 	head, tail int32                  // most/least recently used; none when empty
 	used       int32                  // slab slots ever occupied (<= capacity)
+
+	// epoch tags every cached entry; AdvanceEpoch bumps it, instantly
+	// staling the whole cache in O(1). Entries from older epochs are
+	// treated as misses and their slots refreshed in place.
+	epoch uint64
 
 	hits, misses uint64
 
@@ -111,7 +117,7 @@ func New(slow Classifier, capacity int) (*Cache, error) {
 // Classify returns exactly what the wrapped classifier would, consulting
 // the cache first.
 func (c *Cache) Classify(h rules.Header) int {
-	if i, ok := c.index[h]; ok {
+	if i, ok := c.index[h]; ok && c.slab[i].epoch == c.epoch {
 		c.hits++
 		c.moveToFront(i)
 		return c.slab[i].match
@@ -135,7 +141,7 @@ func (c *Cache) ClassifyBatch(hs []rules.Header, out []int) {
 	c.missHs = c.missHs[:0]
 	c.missIdx = c.missIdx[:0]
 	for i, h := range hs {
-		if j, ok := c.index[h]; ok {
+		if j, ok := c.index[h]; ok && c.slab[j].epoch == c.epoch {
 			c.hits++
 			c.moveToFront(j)
 			out[i] = c.slab[j].match
@@ -166,11 +172,13 @@ func (c *Cache) ClassifyBatch(hs []rules.Header, out []int) {
 }
 
 // insert caches h's match, evicting the LRU entry at capacity. A key that
-// is already present (a flow missed more than once in a single batch) has
-// its slot refreshed instead of duplicated.
+// is already present (a flow missed more than once in a single batch, or
+// a flow staled by AdvanceEpoch) has its slot refreshed — match and epoch
+// — instead of duplicated.
 func (c *Cache) insert(h rules.Header, match int) {
 	if i, ok := c.index[h]; ok {
 		c.slab[i].match = match
+		c.slab[i].epoch = c.epoch
 		c.moveToFront(i)
 		return
 	}
@@ -184,7 +192,7 @@ func (c *Cache) insert(h rules.Header, match int) {
 		delete(c.index, c.slab[i].key)
 		c.unlink(i)
 	}
-	c.slab[i] = entry{key: h, match: match, prev: none, next: none}
+	c.slab[i] = entry{key: h, match: match, epoch: c.epoch, prev: none, next: none}
 	c.pushFront(i)
 	c.index[h] = i
 }
@@ -228,14 +236,25 @@ func (c *Cache) moveToFront(i int32) {
 }
 
 // Invalidate empties the cache; call it after the underlying rule set
-// changes (e.g. on every update.Manager generation change). The slab and
-// index are retained, so refilling allocates nothing.
+// changes. The slab and index are retained, so refilling allocates
+// nothing. Cost is O(capacity) (the index clear); serving loops that
+// invalidate at churn rates should use AdvanceEpoch instead.
 func (c *Cache) Invalidate() {
 	clear(c.index)
 	c.head, c.tail, c.used = none, none, 0
 }
 
-// Len returns the number of cached flows.
+// AdvanceEpoch stales every cached entry in O(1): entries keep their
+// slots but no longer hit, so the very next packet of each flow re-takes
+// the slow path and refreshes the slot in place. This is the invalidation
+// the engine's shards use on generation changes — a delta-layer delete
+// publishes a new generation, the shard bumps the epoch, and a cached
+// decision for the deleted rule can never be served again, without paying
+// an O(capacity) clear per churn event.
+func (c *Cache) AdvanceEpoch() { c.epoch++ }
+
+// Len returns the number of cached flows (including epoch-staled entries
+// whose slots have not been refreshed yet).
 func (c *Cache) Len() int { return len(c.index) }
 
 // Stats returns hit and miss counts since creation.

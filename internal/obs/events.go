@@ -30,6 +30,12 @@ const (
 	// EventCacheInvalidate: a shard invalidated its private flow cache on
 	// a generation change.
 	EventCacheInvalidate = "cache-invalidate"
+	// EventCompact: update.Manager folded its delta layer into a fresh
+	// tree build and published the result.
+	EventCompact = "compact"
+	// EventCompactAbort: a compaction was discarded — its build failed,
+	// or the base generation changed underneath it.
+	EventCompactAbort = "compact-abort"
 )
 
 // Event is one flight-recorder entry.

@@ -1,0 +1,212 @@
+package tss
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+	"repro/internal/rules"
+)
+
+// Op is one rule-list modification against the combined view. Positions
+// are combined-list indices (the same priority space update.Manager's Op
+// uses), so a caller can feed the identical edit stream to the delta
+// layer and to a full rebuild and get the identical rule list.
+type Op struct {
+	// Insert, when set, adds Rule at Pos; otherwise the op deletes Pos.
+	Insert bool
+	Rule   rules.Rule
+	Pos    int
+}
+
+// Delta is an immutable view of "tree base + absorbed edits": the base
+// rule snapshot a decision tree was built from, the combined current rule
+// list after every absorbed insert/delete, and the tuple-space table
+// holding the inserted rules. Apply is copy-on-write — it returns a new
+// Delta and never mutates the receiver — so a published Delta can be read
+// lock-free forever, exactly like a published tree generation.
+//
+// Index plumbing: the tree answers in *base* indices; callers want
+// *combined* indices (the list Snapshot exposes). remap translates base
+// to combined (-1 = the base rule was deleted and must not be served);
+// src translates combined back to provenance (>= 0: base index, < 0:
+// ^slabHandle of a delta-inserted rule). Inserts and deletes preserve the
+// relative order of surviving base rules, which is what makes Resolve's
+// min-position merge correct.
+type Delta struct {
+	base  []rules.Rule // tree generation's snapshot (shared, immutable)
+	cur   []rules.Rule // combined list (immutable once published)
+	remap []int32      // base index -> combined index, -1 when masked
+	src   []int32      // combined index -> base index or ^handle
+	tab   *Table       // delta-inserted rules keyed by prefix tuple
+	dead  int          // masked base rules
+	ops   int          // ops absorbed since base
+
+	// maskScans counts Resolve calls that had to fall back to scanning
+	// base survivors because the tree's best match was masked by a delete.
+	// Shared across every clone in a delta chain (obs.Counter is nil-safe,
+	// so an unwired Delta costs nothing).
+	maskScans *obs.Counter
+}
+
+// NewDelta returns the empty delta over base: combined == base, nothing
+// inserted, nothing masked. maskScans may be nil.
+func NewDelta(base []rules.Rule, maskScans *obs.Counter) *Delta {
+	remap := make([]int32, len(base))
+	src := make([]int32, len(base))
+	for i := range base {
+		remap[i] = int32(i)
+		src[i] = int32(i)
+	}
+	return &Delta{
+		base: base, cur: base, remap: remap, src: src,
+		tab: NewTable(), maskScans: maskScans,
+	}
+}
+
+// Apply absorbs a batch of ops and returns the resulting Delta, leaving
+// the receiver untouched. The batch is atomic: any invalid op fails the
+// whole batch with no observable effect. Cost is O(ops × (base + table))
+// int32 sweeps plus O(1) hash-table work per op — microseconds at any
+// realistic delta size, no tree build anywhere.
+func (d *Delta) Apply(ops []Op) (*Delta, error) {
+	nd := &Delta{
+		base:      d.base,
+		cur:       append([]rules.Rule(nil), d.cur...),
+		remap:     append([]int32(nil), d.remap...),
+		src:       append([]int32(nil), d.src...),
+		tab:       d.tab.Clone(),
+		dead:      d.dead,
+		ops:       d.ops,
+		maskScans: d.maskScans,
+	}
+	for i, op := range ops {
+		if op.Insert {
+			nd.insertAt(op.Pos, op.Rule)
+			continue
+		}
+		if op.Pos < 0 || op.Pos >= len(nd.cur) {
+			return nil, fmt.Errorf("tss: op %d deletes position %d of %d rules", i, op.Pos, len(nd.cur))
+		}
+		nd.deleteAt(op.Pos)
+	}
+	if len(nd.cur) == 0 {
+		return nil, fmt.Errorf("tss: batch would empty the rule set")
+	}
+	nd.ops += len(ops)
+	return nd, nil
+}
+
+func (d *Delta) insertAt(pos int, r rules.Rule) {
+	if pos < 0 {
+		pos = 0
+	}
+	if pos > len(d.cur) {
+		pos = len(d.cur)
+	}
+	p := int32(pos)
+	d.tab.ShiftUp(p)
+	for b := range d.remap {
+		if d.remap[b] != none && d.remap[b] >= p {
+			d.remap[b]++
+		}
+	}
+	h := d.tab.Insert(r, p)
+	d.src = append(d.src, 0)
+	copy(d.src[pos+1:], d.src[pos:])
+	d.src[pos] = ^h
+	d.cur = append(d.cur, rules.Rule{})
+	copy(d.cur[pos+1:], d.cur[pos:])
+	d.cur[pos] = r
+}
+
+func (d *Delta) deleteAt(pos int) {
+	p := int32(pos)
+	if s := d.src[pos]; s >= 0 {
+		d.remap[s] = none // mask: the tree may still return s, Resolve hides it
+		d.dead++
+	} else {
+		d.tab.Delete(^s)
+	}
+	d.tab.ShiftDown(p)
+	for b := range d.remap {
+		if d.remap[b] != none && d.remap[b] > p {
+			d.remap[b]--
+		}
+	}
+	d.src = append(d.src[:pos], d.src[pos+1:]...)
+	d.cur = append(d.cur[:pos], d.cur[pos+1:]...)
+}
+
+// Resolve merges the tree's answer with the delta table: treeMatch is the
+// tree classifier's base-index answer for h (-1 = no match), and the
+// return value is the combined-list index of the true first match (-1 =
+// none). Allocation-free.
+//
+// Correctness: surviving base rules keep their relative order in the
+// combined list, so the first *surviving* base rule matching h (in base
+// order) has the minimum combined index among all base matchers; the
+// table's Lookup returns the minimum combined index among all inserted
+// matchers; the smaller of the two is the combined first match. When the
+// tree's best match was deleted, the next base matcher is found with a
+// linear scan over base survivors from treeMatch+1 — the one place the
+// delta layer pays more than hash probes, counted in maskScans and rare
+// by construction (it needs a deleted rule to be the tree's best match
+// for the very header being classified).
+func (d *Delta) Resolve(h rules.Header, treeMatch int) int {
+	best := none
+	if treeMatch >= 0 {
+		tc := d.remap[treeMatch]
+		if tc == none {
+			d.maskScans.Inc()
+			for b := treeMatch + 1; b < len(d.base); b++ {
+				if d.remap[b] != none && d.base[b].Matches(h) {
+					tc = d.remap[b]
+					break
+				}
+			}
+		}
+		best = tc
+	}
+	if t := d.tab.Lookup(h); t != none && (best == none || t < best) {
+		best = t
+	}
+	return int(best)
+}
+
+// ResolveBatch resolves a whole batch in place: out[i] holds the tree's
+// base-index answer for hs[i] on entry and the combined-list answer on
+// return. Allocation-free, preserving the serving path's 0 allocs/op.
+func (d *Delta) ResolveBatch(hs []rules.Header, out []int) {
+	for i := range hs {
+		out[i] = d.Resolve(hs[i], out[i])
+	}
+}
+
+// Rules returns the combined rule list. Callers must not modify it.
+func (d *Delta) Rules() []rules.Rule { return d.cur }
+
+// Base returns the tree snapshot this delta layers over.
+func (d *Delta) Base() []rules.Rule { return d.base }
+
+// Len returns the combined rule count.
+func (d *Delta) Len() int { return len(d.cur) }
+
+// Inserted returns the number of live delta-inserted rules.
+func (d *Delta) Inserted() int { return d.tab.Len() }
+
+// Dead returns the number of masked (deleted) base rules.
+func (d *Delta) Dead() int { return d.dead }
+
+// Ops returns the total ops absorbed since base — the compaction
+// trigger's input.
+func (d *Delta) Ops() int { return d.ops }
+
+// Empty reports whether the delta has absorbed no ops.
+func (d *Delta) Empty() bool { return d.ops == 0 }
+
+// MemoryBytes estimates the delta's own footprint (table plus index
+// arrays; the base and combined lists are attributed to the generations
+// that own them).
+func (d *Delta) MemoryBytes() int {
+	return d.tab.MemoryBytes() + 4*(len(d.remap)+len(d.src))
+}

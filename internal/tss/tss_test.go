@@ -1,0 +1,227 @@
+package tss
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/pktgen"
+	"repro/internal/rulegen"
+	"repro/internal/rules"
+)
+
+func genRules(t *testing.T, n int, seed int64) *rules.RuleSet {
+	t.Helper()
+	rs, err := rulegen.Generate(rulegen.Config{Kind: rulegen.Firewall, Size: n, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rs
+}
+
+func genHeaders(t *testing.T, rs *rules.RuleSet, n int, seed int64) []rules.Header {
+	t.Helper()
+	tr, err := pktgen.Generate(rs, pktgen.Config{Count: n, Seed: seed, MatchFraction: 0.85})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr.Headers
+}
+
+func TestTableInsertLookupDelete(t *testing.T) {
+	rs := genRules(t, 30, 601)
+	tab := NewTable()
+	handles := make([]int32, rs.Len())
+	for i, r := range rs.Rules {
+		handles[i] = tab.Insert(r, int32(i))
+	}
+	if tab.Len() != rs.Len() {
+		t.Fatalf("Len = %d, want %d", tab.Len(), rs.Len())
+	}
+	for _, h := range genHeaders(t, rs, 500, 602) {
+		if got, want := int(tab.Lookup(h)), rs.Match(h); got != want {
+			t.Fatalf("Lookup(%v) = %d, linear oracle %d", h, got, want)
+		}
+	}
+	// Delete the first half; lookups must now agree with the suffix set,
+	// whose rules keep their original positions.
+	for i := 0; i < rs.Len()/2; i++ {
+		tab.Delete(handles[i])
+	}
+	for _, h := range genHeaders(t, rs, 500, 603) {
+		want := -1
+		for i := rs.Len() / 2; i < rs.Len(); i++ {
+			if rs.Rules[i].Matches(h) {
+				want = i
+				break
+			}
+		}
+		if got := int(tab.Lookup(h)); got != want {
+			t.Fatalf("after deletes Lookup(%v) = %d, oracle %d", h, got, want)
+		}
+	}
+	if tab.Len() != rs.Len()-rs.Len()/2 {
+		t.Fatalf("Len after deletes = %d", tab.Len())
+	}
+	if tab.MemoryBytes() <= 0 || tab.Tuples() == 0 {
+		t.Error("MemoryBytes / Tuples not positive")
+	}
+}
+
+func TestTableShiftMaintainsPositions(t *testing.T) {
+	tab := NewTable()
+	r := rules.Rule{SrcPort: rules.FullPortRange, DstPort: rules.FullPortRange, Proto: rules.AnyProto}
+	h0 := tab.Insert(r, 0)
+	h5 := tab.Insert(r, 5)
+	tab.ShiftUp(3) // an insert at 3 pushes position 5 to 6
+	if tab.Pos(h0) != 0 || tab.Pos(h5) != 6 {
+		t.Fatalf("after ShiftUp: pos(h0)=%d pos(h5)=%d", tab.Pos(h0), tab.Pos(h5))
+	}
+	tab.ShiftDown(2) // a delete at 2 pulls position 6 to 5
+	if tab.Pos(h0) != 0 || tab.Pos(h5) != 5 {
+		t.Fatalf("after ShiftDown: pos(h0)=%d pos(h5)=%d", tab.Pos(h0), tab.Pos(h5))
+	}
+}
+
+// checkDelta verifies the delta's combined view against a linear oracle:
+// the tree is stood in for by linear search over the base snapshot (same
+// answers by the repository's conformance invariant), and the expected
+// result is linear search over the combined list.
+func checkDelta(t *testing.T, d *Delta, hs []rules.Header) {
+	t.Helper()
+	baseRS := rules.NewRuleSet("base", d.Base())
+	curRS := rules.NewRuleSet("cur", d.Rules())
+	for _, h := range hs {
+		treeMatch := baseRS.Match(h)
+		if got, want := d.Resolve(h, treeMatch), curRS.Match(h); got != want {
+			t.Fatalf("Resolve(%v, tree=%d) = %d, combined oracle %d (ops=%d ins=%d dead=%d)",
+				h, treeMatch, got, want, d.Ops(), d.Inserted(), d.Dead())
+		}
+	}
+}
+
+func TestDeltaMatchesOracleUnderRandomChurn(t *testing.T) {
+	base := genRules(t, 60, 611)
+	extra := genRules(t, 60, 612) // insertion material
+	d := NewDelta(base.Rules, nil)
+	hs := genHeaders(t, base, 400, 613)
+	rng := rand.New(rand.NewSource(614))
+	for round := 0; round < 30; round++ {
+		var ops []Op
+		for k := 0; k < 1+rng.Intn(4); k++ {
+			if d.Len() > 5 && rng.Intn(2) == 0 {
+				ops = append(ops, Op{Pos: rng.Intn(d.Len())})
+			} else {
+				r := extra.Rules[rng.Intn(extra.Len())]
+				ops = append(ops, Op{Insert: true, Rule: r, Pos: rng.Intn(d.Len() + 1)})
+			}
+		}
+		nd, err := d.Apply(ops)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		d = nd
+		checkDelta(t, d, hs)
+	}
+	if d.Ops() == 0 || d.Inserted() == 0 {
+		t.Errorf("churn accounting: ops=%d inserted=%d", d.Ops(), d.Inserted())
+	}
+}
+
+func TestDeltaBatchAtomicAndCOW(t *testing.T) {
+	base := genRules(t, 20, 621)
+	d0 := NewDelta(base.Rules, nil)
+	r := rules.Rule{SrcPort: rules.FullPortRange, DstPort: rules.FullPortRange, Proto: rules.AnyProto}
+	d1, err := d0.Apply([]Op{{Insert: true, Rule: r, Pos: 0}, {Pos: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// COW: d0 untouched.
+	if d0.Len() != base.Len() || !d0.Empty() || d0.Inserted() != 0 {
+		t.Fatalf("receiver mutated: len=%d ops=%d", d0.Len(), d0.Ops())
+	}
+	if d1.Len() != base.Len() || d1.Ops() != 2 {
+		t.Fatalf("d1: len=%d ops=%d", d1.Len(), d1.Ops())
+	}
+	// Atomicity: an invalid op fails the whole batch.
+	if _, err := d1.Apply([]Op{{Insert: true, Rule: r, Pos: 0}, {Pos: 10_000}}); err == nil {
+		t.Fatal("out-of-range delete accepted")
+	}
+	if d1.Ops() != 2 {
+		t.Fatal("failed batch left a trace")
+	}
+	// Emptying is rejected.
+	one := NewDelta([]rules.Rule{r}, nil)
+	if _, err := one.Apply([]Op{{Pos: 0}}); err == nil {
+		t.Fatal("emptying batch accepted")
+	}
+}
+
+func TestDeltaMaskFallbackScansSurvivors(t *testing.T) {
+	// Two rules matching the same host: deleting the first must expose
+	// the second through the mask-fallback scan, and count it.
+	r0 := rules.Rule{SrcIP: rules.Prefix{Addr: 0x0A000000, Len: 8},
+		SrcPort: rules.FullPortRange, DstPort: rules.FullPortRange, Proto: rules.AnyProto}
+	r1 := rules.Rule{SrcIP: rules.Prefix{Addr: 0x0A0B0000, Len: 16},
+		SrcPort: rules.FullPortRange, DstPort: rules.FullPortRange, Proto: rules.AnyProto, Action: rules.ActionDeny}
+	var scans obs.Counter
+	d := NewDelta([]rules.Rule{r0, r1}, &scans)
+	nd, err := d.Apply([]Op{{Pos: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := rules.Header{SrcIP: 0x0A0B0C0D}
+	// The tree still answers 0 (its base had r0); the combined answer is
+	// the surviving r1, now at combined position 0.
+	if got := nd.Resolve(h, 0); got != 0 {
+		t.Fatalf("Resolve = %d, want surviving rule at 0", got)
+	}
+	if nd.Rules()[0] != r1 {
+		t.Fatal("combined list does not start with the survivor")
+	}
+	if scans.Load() == 0 {
+		t.Error("mask fallback not counted")
+	}
+	// A header matching only the deleted rule now matches nothing.
+	h2 := rules.Header{SrcIP: 0x0A110000}
+	if got := nd.Resolve(h2, 0); got != -1 {
+		t.Fatalf("Resolve for fully masked header = %d, want -1", got)
+	}
+}
+
+func TestResolveBatchZeroAllocs(t *testing.T) {
+	base := genRules(t, 60, 631)
+	extra := genRules(t, 30, 632)
+	d := NewDelta(base.Rules, nil)
+	var err error
+	for i, r := range extra.Rules {
+		ops := []Op{{Insert: true, Rule: r, Pos: i}}
+		if i%3 == 0 {
+			ops = append(ops, Op{Pos: d.Len() / 2})
+		}
+		if d, err = d.Apply(ops); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hs := genHeaders(t, base, 256, 633)
+	baseRS := rules.NewRuleSet("base", d.Base())
+	out := make([]int, len(hs))
+	for i, h := range hs {
+		out[i] = baseRS.Match(h)
+	}
+	tree := append([]int(nil), out...)
+	allocs := testing.AllocsPerRun(20, func() {
+		copy(out, tree)
+		d.ResolveBatch(hs, out)
+	})
+	if allocs != 0 {
+		t.Errorf("ResolveBatch allocates %.1f/op, want 0", allocs)
+	}
+	// And the answers are right.
+	curRS := rules.NewRuleSet("cur", d.Rules())
+	for i, h := range hs {
+		if want := curRS.Match(h); out[i] != want {
+			t.Fatalf("packet %d: %d, oracle %d", i, out[i], want)
+		}
+	}
+}

@@ -25,6 +25,28 @@ func (m *Manager) Collect(emit func(obs.Sample)) {
 	counter("pc_update_failed_validations_total", "Candidates rejected by shadow validation.", h.FailedValidations)
 	counter("pc_update_rollbacks_total", "Successful rollbacks.", h.Rollbacks)
 	counter("pc_update_budget_trips_total", "Builds aborted by a buildgov budget.", h.BudgetTrips)
+
+	// Delta layer / compaction series. Gauges reflect the live delta;
+	// counters are lifetime totals.
+	gauge("pc_update_delta_ops", "Edit ops absorbed by the live delta layer since its tree base.", float64(h.DeltaOps))
+	gauge("pc_update_delta_rules", "Live delta-inserted rules in the tuple-space side table.", float64(h.DeltaInserted))
+	gauge("pc_update_delta_dead", "Tree rules masked by delta deletes.", float64(h.DeltaDead))
+	gauge("pc_update_delta_age_seconds", "Age of the oldest unfolded delta.", h.DeltaAgeSeconds)
+	compacting := 0.0
+	if h.Compacting {
+		compacting = 1
+	}
+	gauge("pc_update_compacting", "1 while a background compaction is in flight.", compacting)
+	counter("pc_update_delta_applies_total", "Successful ApplyDelta batches.", h.DeltaApplies)
+	counter("pc_update_mask_scans_total", "Lookups that fell back to scanning tree survivors past a masked match.", h.MaskScans)
+	counter("pc_update_compactions_total", "Deltas folded into fresh builds.", h.Compactions)
+	counter("pc_update_compaction_aborts_total", "Compactions discarded because the base generation changed mid-build.", h.CompactionAborts)
+	counter("pc_update_compaction_failures_total", "Compactions whose build or validation failed.", h.CompactionFailures)
+	counter("pc_update_submits_coalesced_total", "Submissions superseded in the latest-wins slot before a rebuild picked them up.", h.SubmitsCoalesced)
+	applyNs := m.deltaApplyNs.Snapshot()
+	emit(obs.Sample{Name: "pc_update_delta_apply_ns",
+		Help: "ApplyDelta latency (ns): lock to publish.", Type: "histogram", Hist: &applyNs})
+
 	for _, b := range h.Breakers {
 		labels := []obs.Label{{Key: "rung", Value: b.Rung}}
 		open := 0.0

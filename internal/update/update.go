@@ -30,6 +30,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/pktgen"
 	"repro/internal/rules"
+	"repro/internal/tss"
 )
 
 // Classifier is the read-side contract of a managed generation.
@@ -122,6 +123,11 @@ type Config struct {
 	// before half-opening for one probe build; 0 means
 	// DefaultBreakerCooldown.
 	BreakerCooldown time.Duration
+	// CompactThreshold is how many delta ops accumulate before ApplyDelta
+	// kicks off a background compaction folding them into a fresh tree
+	// build; 0 means DefaultCompactThreshold, negative disables
+	// auto-compaction (Compact can still be called explicitly).
+	CompactThreshold int
 	// Events, when non-nil, receives flight-recorder entries for the
 	// manager's lifecycle transitions: generation swaps, rollbacks, rung
 	// changes and circuit-breaker state changes. Events are recorded only
@@ -137,6 +143,7 @@ const (
 	DefaultBackoffMax       = 250 * time.Millisecond
 	DefaultBreakerThreshold = 3
 	DefaultBreakerCooldown  = 30 * time.Second
+	DefaultCompactThreshold = 256
 )
 
 func (c *Config) fillDefaults() {
@@ -160,6 +167,9 @@ func (c *Config) fillDefaults() {
 	}
 	if c.BreakerCooldown <= 0 {
 		c.BreakerCooldown = DefaultBreakerCooldown
+	}
+	if c.CompactThreshold == 0 {
+		c.CompactThreshold = DefaultCompactThreshold
 	}
 }
 
@@ -200,6 +210,35 @@ type Health struct {
 	// LastError describes the most recent failed Apply/Rollback, empty
 	// when the last operation succeeded.
 	LastError string
+
+	// DeltaOps is the number of edit ops absorbed by the live delta layer
+	// since its tree base (0 when no delta is active).
+	DeltaOps int
+	// DeltaInserted is the number of live delta-inserted rules.
+	DeltaInserted int
+	// DeltaDead is the number of tree rules masked by delta deletes.
+	DeltaDead int
+	// DeltaAgeSeconds is how long the oldest unfolded delta has been
+	// accumulating (0 when no delta is active).
+	DeltaAgeSeconds float64
+	// DeltaApplies counts successful ApplyDelta calls.
+	DeltaApplies uint64
+	// MaskScans counts lookups that fell back to scanning tree survivors
+	// because the tree's best match was delta-deleted.
+	MaskScans uint64
+	// Compactions counts deltas successfully folded into fresh builds;
+	// CompactionAborts counts compactions abandoned because the base
+	// generation changed mid-build (a full Apply or Rollback landed);
+	// CompactionFailures counts compactions whose build or validation
+	// failed.
+	Compactions        uint64
+	CompactionAborts   uint64
+	CompactionFailures uint64
+	// Compacting reports whether a background compaction is in flight.
+	Compacting bool
+	// SubmitsCoalesced counts Submit calls whose rule set was superseded
+	// in the latest-wins slot before a rebuild picked it up.
+	SubmitsCoalesced uint64
 }
 
 // BreakerStatus is one rung's circuit-breaker snapshot.
@@ -263,12 +302,40 @@ type Manager struct {
 	sleep  func(time.Duration) // time.Sleep, overridable in tests
 	now    func() time.Time    // time.Now, overridable in tests
 
-	mu       sync.Mutex // serializes updates, not lookups
-	name     string
-	rules    []rules.Rule
-	gen      uint64
-	prev     *generation // retained for Rollback; nil initially
-	breakers []breaker   // one per ladder rung
+	mu    sync.Mutex // serializes updates, not lookups
+	name  string
+	rules []rules.Rule
+	gen   uint64
+	prev  *generation // retained for Rollback; nil initially
+	// baseEpoch counts live-tree changes (full rebuilds, rollbacks). The
+	// compactor snapshots it before building and aborts its publish if it
+	// moved — the optimistic-concurrency check that makes compaction safe
+	// against concurrent Apply/Rollback without holding mu across builds.
+	baseEpoch uint64
+	// compacting marks an in-flight background compaction; while set,
+	// ApplyDelta journals its ops so the compactor can replay edits that
+	// landed during its build onto the fresh tree.
+	compacting bool
+	// compactPending bridges the gap between ApplyDelta scheduling an
+	// auto-compaction goroutine and that goroutine acquiring mu — without
+	// it, Quiesce could observe an idle manager with a compaction about to
+	// start.
+	compactPending bool
+	journal        []Op
+	deltaSince     time.Time // when the oldest unfolded delta landed
+
+	// bmu guards the breakers separately from mu so the compactor's
+	// off-lock ladder walk can record rung outcomes while an Apply holds
+	// mu.
+	bmu      sync.Mutex
+	breakers []breaker // one per ladder rung
+
+	// pendMu guards the latest-wins submission slot (Submit). pending
+	// holds the newest submitted rule set; draining marks the drainer
+	// goroutine as live.
+	pendMu   sync.Mutex
+	pending  []rules.Rule
+	draining bool
 
 	buildRetries      atomic.Uint64
 	failedBuilds      atomic.Uint64
@@ -277,17 +344,30 @@ type Manager struct {
 	budgetTrips       atomic.Uint64
 	lastError         atomic.Pointer[string]
 
+	deltaApplies       obs.Counter
+	maskScans          obs.Counter
+	compactions        obs.Counter
+	compactionAborts   obs.Counter
+	compactionFailures obs.Counter
+	submitsCoalesced   obs.Counter
+	deltaApplyNs       obs.Hist
+
 	live atomic.Pointer[generation]
 }
 
-// generation pairs a classifier with the rule snapshot it was built from,
-// plus the ladder position that produced it.
+// generation pairs a classifier with the rule snapshot it serves, plus
+// the ladder position that produced it. When delta is non-nil the
+// classifier was built from delta.Base() and rules holds the combined
+// list (base + absorbed edits); lookups resolve the tree's base-index
+// answer through the delta. A generation is immutable once published, so
+// one live.Load pins a coherent (tree, delta) pair for a whole batch.
 type generation struct {
 	cl    Classifier
 	rules []rules.Rule
 	gen   uint64
 	algo  string
 	rung  int
+	delta *tss.Delta // nil when the tree serves its own snapshot
 }
 
 // NewManager builds the initial generation from the rule set with the
@@ -351,9 +431,16 @@ func NewManagerLadder(rs *rules.RuleSet, ladder []Rung, cfg Config) (*Manager, e
 
 // Classify classifies against the live generation. The returned index
 // refers to that generation's snapshot; use Snapshot for the matching rule
-// list.
+// list. With a delta layer active, the tree's answer is resolved through
+// it — inserted rules can win, deleted rules are masked — still with zero
+// locking and zero allocation.
 func (m *Manager) Classify(h rules.Header) int {
-	return m.live.Load().cl.Classify(h)
+	g := m.live.Load()
+	match := g.cl.Classify(h)
+	if g.delta != nil {
+		return g.delta.Resolve(h, match)
+	}
+	return match
 }
 
 // ClassifyBatch classifies hs[i] into out[i] against the live generation.
@@ -364,13 +451,19 @@ func (m *Manager) Classify(h rules.Header) int {
 // per packet.
 func (m *Manager) ClassifyBatch(hs []rules.Header, out []int) {
 	g := m.live.Load()
+	out = out[:len(hs)]
 	if bc, ok := g.cl.(BatchClassifier); ok {
 		bc.ClassifyBatch(hs, out)
-		return
+	} else {
+		for i, h := range hs {
+			out[i] = g.cl.Classify(h)
+		}
 	}
-	out = out[:len(hs)]
-	for i, h := range hs {
-		out[i] = g.cl.Classify(h)
+	if g.delta != nil {
+		// One generation load covers tree and delta alike: the pair was
+		// published together, so the whole batch resolves against one
+		// coherent (tree, delta) snapshot.
+		g.delta.ResolveBatch(hs, out)
 	}
 }
 
@@ -391,19 +484,29 @@ func (m *Manager) Generation() uint64 {
 	return m.live.Load().gen
 }
 
-// MemoryBytes reports the live classifier's footprint.
+// MemoryBytes reports the live classifier's footprint, including the
+// delta layer's side table when one is active.
 func (m *Manager) MemoryBytes() int {
-	return m.live.Load().cl.MemoryBytes()
+	g := m.live.Load()
+	b := g.cl.MemoryBytes()
+	if g.delta != nil {
+		b += g.delta.MemoryBytes()
+	}
+	return b
 }
 
 // Health returns the manager's introspection counters.
 func (m *Manager) Health() Health {
 	m.mu.Lock()
 	canRollback := m.prev != nil
+	compacting := m.compacting
+	deltaSince := m.deltaSince
+	m.mu.Unlock()
 	var breakers []BreakerStatus
 	if len(m.ladder) > 0 {
 		now := m.now()
 		breakers = make([]BreakerStatus, len(m.ladder))
+		m.bmu.Lock()
 		for i := range m.ladder {
 			breakers[i] = BreakerStatus{
 				Rung:                m.ladder[i].Name,
@@ -411,8 +514,8 @@ func (m *Manager) Health() Health {
 				ConsecutiveFailures: m.breakers[i].fails,
 			}
 		}
+		m.bmu.Unlock()
 	}
-	m.mu.Unlock()
 	g := m.live.Load()
 	h := Health{
 		Generation:        g.gen,
@@ -427,6 +530,22 @@ func (m *Manager) Health() Health {
 		DegradationLevel:  g.rung,
 		BudgetTrips:       m.budgetTrips.Load(),
 		Breakers:          breakers,
+
+		DeltaApplies:       m.deltaApplies.Load(),
+		MaskScans:          m.maskScans.Load(),
+		Compactions:        m.compactions.Load(),
+		CompactionAborts:   m.compactionAborts.Load(),
+		CompactionFailures: m.compactionFailures.Load(),
+		Compacting:         compacting,
+		SubmitsCoalesced:   m.submitsCoalesced.Load(),
+	}
+	if g.delta != nil {
+		h.DeltaOps = g.delta.Ops()
+		h.DeltaInserted = g.delta.Inserted()
+		h.DeltaDead = g.delta.Dead()
+		if !deltaSince.IsZero() {
+			h.DeltaAgeSeconds = m.now().Sub(deltaSince).Seconds()
+		}
 	}
 	if s := m.lastError.Load(); s != nil {
 		h.LastError = *s
@@ -499,8 +618,16 @@ func (m *Manager) Rollback() error {
 	m.prev = m.live.Load()
 	m.rules = append([]rules.Rule(nil), target.rules...)
 	m.gen++
+	// The live tree base changed: an in-flight compaction built against
+	// the rolled-away state must abort at its publish check.
+	m.baseEpoch++
 	m.live.Store(&generation{cl: target.cl, rules: target.rules, gen: m.gen,
-		algo: target.algo, rung: target.rung})
+		algo: target.algo, rung: target.rung, delta: target.delta})
+	if target.delta == nil {
+		m.deltaSince = time.Time{}
+	} else if m.deltaSince.IsZero() {
+		m.deltaSince = m.now()
+	}
 	m.rollbacks.Add(1)
 	m.cfg.Events.Recordf(obs.EventRollback,
 		"generation %d reinstates %s (rung %d)", m.gen, target.algo, target.rung)
@@ -509,19 +636,61 @@ func (m *Manager) Rollback() error {
 }
 
 // rebuildLocked builds, validates and publishes a new generation from
-// m.rules, retaining the outgoing generation for Rollback. With a ladder
-// it walks the rungs best-first, skipping rungs whose breaker is open
-// (the final rung is always attempted if nothing else was, so a fully
-// tripped ladder still reaches its total fallback); the first rung that
-// builds and validates serves, and its breaker closes.
+// m.rules, retaining the outgoing generation for Rollback. Any delta
+// layer on the outgoing generation is absorbed: the new tree is built
+// from the full combined list, so the published generation serves with
+// delta == nil.
 func (m *Manager) rebuildLocked() error {
 	snapshot := append([]rules.Rule(nil), m.rules...)
 	rs := rules.NewRuleSet(fmt.Sprintf("%s@%d", m.name, m.gen+1), snapshot)
+	cl, algo, rung, err := m.buildLadder(rs)
+	if err != nil {
+		return err
+	}
+	m.publishLocked(cl, snapshot, algo, rung, nil)
+	return nil
+}
+
+// publishLocked installs a built-and-validated classifier as the new live
+// generation (mu held). The tree base changed, so baseEpoch advances and
+// any in-flight compaction will abort at its publish check.
+func (m *Manager) publishLocked(cl Classifier, snapshot []rules.Rule, algo string, rung int, delta *tss.Delta) {
+	m.gen++
+	m.baseEpoch++
+	cur := m.live.Load()
+	if cur != nil {
+		m.prev = cur
+	}
+	m.live.Store(&generation{cl: cl, rules: snapshot, gen: m.gen, algo: algo, rung: rung, delta: delta})
+	if delta == nil {
+		m.deltaSince = time.Time{}
+	} else {
+		m.deltaSince = m.now()
+	}
+	m.cfg.Events.Recordf(obs.EventSwap,
+		"generation %d live: %s (rung %d, %d rules)", m.gen, algo, rung, len(snapshot))
+	if cur != nil && cur.rung != rung {
+		m.cfg.Events.Recordf(obs.EventRungChange,
+			"degradation level %d -> %d (%s -> %s)", cur.rung, rung, cur.algo, algo)
+	}
+}
+
+// buildLadder walks the degradation ladder best-first and returns the
+// first classifier that builds within budget and validates, with its
+// algorithm name and rung index. Rungs whose breaker is open are skipped
+// (the final rung is always attempted if nothing else was, so a fully
+// tripped ladder still reaches its total fallback); a rung that fails
+// records on its breaker, a rung that serves closes it. Breaker access
+// goes through bmu, not mu, so this walk runs identically under
+// rebuildLocked (mu held) and under the background compactor (mu
+// released) — two walks may interleave, each a short uncontended lock
+// per breaker touch.
+func (m *Manager) buildLadder(rs *rules.RuleSet) (Classifier, string, int, error) {
 	ladder := m.ladder
 	if ladder == nil {
 		// Legacy single-builder path, wrapped lazily so tests swapping
-		// m.build keep working. The empty name makes publish derive the
-		// algorithm from the classifier itself.
+		// m.build keep working. The empty name makes the success path
+		// derive the algorithm from the classifier itself.
 		build := m.build
 		ladder = []Rung{{Build: func(_ context.Context, rs *rules.RuleSet) (Classifier, error) {
 			return build(rs)
@@ -532,24 +701,32 @@ func (m *Manager) rebuildLocked() error {
 	// flight-recorder event exactly when the failure transitioned the
 	// breaker into the open state.
 	failRung := func(i int) {
+		m.bmu.Lock()
 		before := m.breakers[i].state(now, m.cfg.BreakerThreshold)
 		m.breakers[i].fail(now, m.cfg.BreakerThreshold, m.cfg.BreakerCooldown)
-		if before != "open" && m.breakers[i].state(now, m.cfg.BreakerThreshold) == "open" {
+		opened := before != "open" && m.breakers[i].state(now, m.cfg.BreakerThreshold) == "open"
+		fails := m.breakers[i].fails
+		m.bmu.Unlock()
+		if opened {
 			m.cfg.Events.Recordf(obs.EventBreakerOpen,
 				"rung %s breaker opened after %d consecutive failures",
-				rungName(ladder, i), m.breakers[i].fails)
+				rungName(ladder, i), fails)
 		}
 	}
 	var failures []error
 	for i := range ladder {
+		m.bmu.Lock()
+		allowed := m.breakers[i].allowed(now, m.cfg.BreakerThreshold)
+		state := m.breakers[i].state(now, m.cfg.BreakerThreshold)
+		m.bmu.Unlock()
 		// The final rung is always attempted: a servable generation
 		// beats breaker hygiene, and DefaultLadder ends on linear
 		// search, which cannot fail.
-		if i != len(ladder)-1 && !m.breakers[i].allowed(now, m.cfg.BreakerThreshold) {
+		if i != len(ladder)-1 && !allowed {
 			failures = append(failures, fmt.Errorf("%s: breaker open", rungName(ladder, i)))
 			continue
 		}
-		if m.breakers[i].state(now, m.cfg.BreakerThreshold) == "half-open" {
+		if state == "half-open" {
 			m.cfg.Events.Recordf(obs.EventBreakerHalfOpen,
 				"rung %s breaker half-open, probing one build", rungName(ladder, i))
 		}
@@ -569,11 +746,14 @@ func (m *Manager) rebuildLocked() error {
 			failures = append(failures, fmt.Errorf("%s: %w", rungName(ladder, i), err))
 			continue
 		}
-		if m.breakers[i].state(now, m.cfg.BreakerThreshold) != "closed" {
+		m.bmu.Lock()
+		wasClosed := m.breakers[i].state(now, m.cfg.BreakerThreshold) == "closed"
+		m.breakers[i].success()
+		m.bmu.Unlock()
+		if !wasClosed {
 			m.cfg.Events.Recordf(obs.EventBreakerClose,
 				"rung %s breaker closed after successful build", rungName(ladder, i))
 		}
-		m.breakers[i].success()
 		algo := ladder[i].Name
 		if algo == "" {
 			if n, ok := cl.(interface{ Name() string }); ok {
@@ -582,21 +762,9 @@ func (m *Manager) rebuildLocked() error {
 				algo = "custom"
 			}
 		}
-		m.gen++
-		cur := m.live.Load()
-		if cur != nil {
-			m.prev = cur
-		}
-		m.live.Store(&generation{cl: cl, rules: snapshot, gen: m.gen, algo: algo, rung: i})
-		m.cfg.Events.Recordf(obs.EventSwap,
-			"generation %d live: %s (rung %d, %d rules)", m.gen, algo, i, len(snapshot))
-		if cur != nil && cur.rung != i {
-			m.cfg.Events.Recordf(obs.EventRungChange,
-				"degradation level %d -> %d (%s -> %s)", cur.rung, i, cur.algo, algo)
-		}
-		return nil
+		return cl, algo, i, nil
 	}
-	return fmt.Errorf("update: every ladder rung failed: %w", errors.Join(failures...))
+	return nil, "", 0, fmt.Errorf("update: every ladder rung failed: %w", errors.Join(failures...))
 }
 
 func rungName(ladder []Rung, i int) string {
