@@ -8,7 +8,7 @@
 //
 // Experiments: fig6 fig7 fig8 fig9 tab2 tab4 tab5
 // stride habs popcount binth sharing extended ladder serve scaling obs
-// churn all
+// churn tenants all
 //
 // The ladder experiment walks every rule set (standard + pathological)
 // through the degradation ladder given by -ladder under the build budget
@@ -26,8 +26,11 @@
 // experiment serves the same set while a delta-layer updater pushes live
 // edits (-churn-shards sets the shard count) and reports concurrent
 // serving Mpps next to sustained updates/sec (the BENCH_PR6.json rows).
-// -cpuprofile and -memprofile write pprof profiles covering the selected
-// experiments.
+// The tenants experiment measures hostile-tenant isolation: a victim
+// tenant's Mpps solo versus co-resident with a WildcardStorm tenant
+// churning its own delta layer (-tenants-shards sets the shard count;
+// the BENCH_PR7.json rows). -cpuprofile and -memprofile write pprof
+// profiles covering the selected experiments.
 package main
 
 import (
@@ -46,7 +49,7 @@ import (
 
 func main() {
 	var (
-		which    = flag.String("experiment", "all", "comma-separated experiment list (fig6 fig7 fig8 fig9 tab2 tab4 tab5 stride habs popcount binth sharing extended ladder serve scaling obs churn all)")
+		which    = flag.String("experiment", "all", "comma-separated experiment list (fig6 fig7 fig8 fig9 tab2 tab4 tab5 stride habs popcount binth sharing extended ladder serve scaling obs churn tenants all)")
 		packets  = flag.Int("packets", 25000, "packets per simulation")
 		traceLen = flag.Int("trace", 2000, "distinct headers per trace")
 		seed     = flag.Int64("seed", 1, "trace seed")
@@ -56,12 +59,13 @@ func main() {
 		buildMaxNodes = flag.Int("build-maxnodes", 0, "ladder: node/table-row budget per build attempt (0 = unlimited)")
 		ladderNames   = flag.String("ladder", "expcuts,hicuts,hsm,linear", "ladder: degradation rungs, best first")
 
-		batch       = flag.Int("batch", 0, "serve/scaling/obs: engine batch size (0 = engine default)")
-		shardList   = flag.String("shards", "1,2,4,8", "scaling: comma-separated shard counts")
-		obsShards   = flag.Int("obs-shards", 4, "obs: shard count for the sharded overhead row")
-		churnShards = flag.Int("churn-shards", 4, "churn: shard count for the live-update run")
-		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile covering the selected experiments")
-		memProfile  = flag.String("memprofile", "", "write a heap profile after the selected experiments")
+		batch         = flag.Int("batch", 0, "serve/scaling/obs: engine batch size (0 = engine default)")
+		shardList     = flag.String("shards", "1,2,4,8", "scaling: comma-separated shard counts")
+		obsShards     = flag.Int("obs-shards", 4, "obs: shard count for the sharded overhead row")
+		churnShards   = flag.Int("churn-shards", 4, "churn: shard count for the live-update run")
+		tenantsShards = flag.Int("tenants-shards", 4, "tenants: shard count for the isolation run")
+		cpuProfile    = flag.String("cpuprofile", "", "write a CPU profile covering the selected experiments")
+		memProfile    = flag.String("memprofile", "", "write a heap profile after the selected experiments")
 
 		metricsAddr = flag.String("metrics", "", "serve /metrics, /debug/vars and /events on this addr while experiments run (process-level introspection; experiment engines stay uninstrumented so their numbers match the metrics-off baselines)")
 	)
@@ -210,6 +214,13 @@ func main() {
 				return "", err
 			}
 			return experiments.RenderChurn(rows, *batch, *churnShards), nil
+		}},
+		{"tenants", func() (string, error) {
+			rows, err := experiments.Tenants(ctx, *batch, *tenantsShards)
+			if err != nil {
+				return "", err
+			}
+			return experiments.RenderTenants(rows, *batch, *tenantsShards), nil
 		}},
 	}
 

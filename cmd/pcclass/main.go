@@ -22,6 +22,12 @@
 // replaced by a degradation ladder (e.g. expcuts,hicuts,hsm,linear):
 // rungs are tried best-first under the budget and the report says which
 // rung ended up serving.
+//
+// With -tenants N the trace is served through the multi-tenant engine:
+// N tenants each own an independent build of the rule set (through their
+// own ladder under their own budget copy), the trace splits round-robin
+// across them, and the report carries per-tenant counts and the rung
+// each tenant ended up serving from.
 package main
 
 import (
@@ -48,6 +54,7 @@ import (
 	"repro/internal/rfc"
 	"repro/internal/rulegen"
 	"repro/internal/rules"
+	"repro/internal/tenant"
 	"repro/internal/update"
 )
 
@@ -79,6 +86,7 @@ func main() {
 		unordered = flag.Bool("unordered", false, "engine: emit results in completion order instead of arrival order")
 		overload  = flag.String("overload", "block", "engine overload policy: block (back-pressure) or shed (tail-drop)")
 		timeout   = flag.Duration("timeout", 0, "engine: per-run deadline (0 = none)")
+		tenantsN  = flag.Int("tenants", 0, "serve through the multi-tenant engine with this many tenants (each owning its own build of the rule set; trace split round-robin; implies the engine)")
 
 		buildTimeout  = flag.Duration("build-timeout", 0, "build budget: wall-clock bound (0 = none)")
 		buildMaxNodes = flag.Int("build-maxnodes", 0, "build budget: node/table-row bound (0 = none)")
@@ -214,7 +222,9 @@ func main() {
 
 	var engineStats engine.Stats
 	var engineErr error
-	useEngine := *workers > 0 || *shards > 0 || *flowCache > 0
+	var tenantStats engine.TenantStats
+	var tenantReg *tenant.Registry
+	useEngine := *workers > 0 || *shards > 0 || *flowCache > 0 || *tenantsN > 1
 	start = time.Now()
 	if useEngine {
 		ecfg := engine.Config{
@@ -240,12 +250,48 @@ func main() {
 			ctx, cancel = context.WithTimeout(ctx, *timeout)
 			defer cancel()
 		}
-		engineStats, engineErr = engine.RunContext(ctx, cl, ecfg, headers, func(r engine.Result) {
-			if r.Err != nil {
-				return // shed, canceled or panicked: reported via stats
+		if *tenantsN > 1 {
+			// Multi-tenant mode: each tenant owns its own generation of the
+			// same rule set (built through its own ladder under its own
+			// budget copy), and the trace is split round-robin across them.
+			tenantReg = tenant.NewRegistry(tenant.Options{Events: ring})
+			tcfg := tenant.Config{
+				Budget:         budget,
+				ShedOnOverload: *overload == "shed",
+				Update:         update.Config{ValidateSamples: -1, Events: ring},
 			}
-			tally(r.Header, r.Match)
-		})
+			if *ladderNames != "" {
+				tcfg.Ladder = strings.Split(*ladderNames, ",")
+			}
+			for i := 1; i <= *tenantsN; i++ {
+				if _, err := tenantReg.Add(tenant.ID(i), rs, tcfg); err != nil {
+					fatal(err)
+				}
+			}
+			if reg != nil {
+				tenantReg.Register(reg)
+			}
+			pkts := make([]engine.TenantPacket, len(headers))
+			for i, h := range headers {
+				pkts[i] = engine.TenantPacket{Tenant: uint32(i%*tenantsN + 1), Header: h}
+			}
+			start = time.Now() // time serving, not the N tenant builds above
+			tenantStats, engineErr = engine.RunTenants(ctx, tenantReg, ecfg, pkts, func(r engine.TenantResult) {
+				if r.Err != nil {
+					return // shed, canceled or panicked: reported via stats
+				}
+				tally(r.Header, r.Match)
+			})
+			engineStats = tenantStats.Stats
+			tenantReg.Absorb(tenantStats)
+		} else {
+			engineStats, engineErr = engine.RunContext(ctx, cl, ecfg, headers, func(r engine.Result) {
+				if r.Err != nil {
+					return // shed, canceled or panicked: reported via stats
+				}
+				tally(r.Header, r.Match)
+			})
+		}
 		if engineErr != nil && !errors.Is(engineErr, context.DeadlineExceeded) {
 			fatal(engineErr)
 		}
@@ -286,6 +332,16 @@ func main() {
 			engineStats.Canceled, engineStats.MaxReorder)
 		if engineErr != nil {
 			fmt.Printf("  run cut short: %v\n", engineErr)
+		}
+		if tenantReg != nil {
+			fmt.Printf("tenants       %d, %s overload each\n", *tenantsN, *overload)
+			for _, id := range tenantReg.IDs() {
+				rt := tenantReg.Get(id)
+				c := rt.Counts()
+				algo, lvl := rt.DescribeAlgorithm()
+				fmt.Printf("  tenant %-4v %s (level %d)  offered %d  classified %d  shed %d  panics %d\n",
+					id, algo, lvl, c.Offered, c.Classified, c.Shed, c.Panicked)
+			}
 		}
 	}
 	for _, action := range []string{"permit", "deny", "class0", "class1", "class2", "class3", "no-match"} {

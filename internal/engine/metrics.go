@@ -181,6 +181,16 @@ func (m *Metrics) reorderHeldHist() *obs.Hist {
 	return &m.reorderHeld
 }
 
+// eventsRing returns the flight recorder (nil for a nil Metrics; Ring
+// methods are nil-safe, so callers record into the result
+// unconditionally).
+func (m *Metrics) eventsRing() *obs.Ring {
+	if m == nil {
+		return nil
+	}
+	return m.events
+}
+
 // Register registers the engine collector on reg.
 func (m *Metrics) Register(reg *obs.Registry) {
 	if m == nil || reg == nil {

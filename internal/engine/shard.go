@@ -62,26 +62,39 @@ func shardOf(h rules.Header, shards int) int {
 // path's contiguous header sub-slices, a shard's packets are scattered
 // through the arrival order, so headers are copied into the job alongside
 // their per-packet sequence numbers. Jobs cycle through the owning
-// shard's pool.
+// shard's pool. The multi-tenant dispatcher additionally stamps the batch
+// with its (single) tenant; the single-table path leaves tenant zero.
 type shardJob struct {
-	seqs []uint64
-	hs   []rules.Header
+	seqs   []uint64
+	hs     []rules.Header
+	tenant uint32
 }
 
-// shard is one serving lane: a private job ring, private job/result pools
-// and an optional private flow cache, all touched only by the dispatcher
-// (job acquisition) and the shard's serve goroutine.
-type shard struct {
-	jobs    chan *shardJob
-	jobPool sync.Pool
-	resPool sync.Pool
-
+// lane is the classification state of one serving context: the
+// classifier (batched when it supports it), an optional private flow
+// cache, and the generation-bracketing state that keeps a batch from
+// straddling a hot-swap. The single-table path owns one lane per shard;
+// the multi-tenant path keeps one lane per (shard, tenant) so every
+// tenant gets its own cache epoch and its own generation bracket.
+type lane struct {
 	cl    Classifier
 	bc    BatchClassifier
 	cache *flowcache.Cache
 	gen   generationProvider // non-nil only when cache != nil and cl versions itself
 
 	lastGen uint64
+}
+
+// shard is one serving lane: a private job ring, private job/result pools
+// and an optional private flow cache, all touched only by the dispatcher
+// (job acquisition) and the shard's serve goroutine.
+type shard struct {
+	lane
+
+	jobs    chan *shardJob
+	jobPool sync.Pool
+	resPool sync.Pool
+
 	// busy accumulates classification time. Written only by the serve
 	// goroutine; published to the emission goroutine by the results-close
 	// happens-before edge.
@@ -118,7 +131,7 @@ func (s *shard) serve(ctx context.Context, results chan<- *resultBatch, panics *
 				matches = make([]int, cap(j.hs))
 			}
 			start := time.Now()
-			p := s.classifyJob(j, out.rs, matches)
+			p := s.lane.classifyJob(j, out.rs, matches, s.m, s.events)
 			busy := time.Since(start)
 			panics.Add(p)
 			s.busy += busy
@@ -162,25 +175,25 @@ const maxGenRetries = 3
 // against the raw classifier — update.Manager's ClassifyBatch is
 // internally coherent (one generation load per batch), so correctness
 // holds and only this batch's cache benefit is lost.
-func (s *shard) classifyJob(j *shardJob, rs []Result, matches []int) int64 {
-	if s.cache == nil {
-		return classifyBatchSeqs(s.cl, s.bc, j.seqs, j.hs, rs, matches)
+func (l *lane) classifyJob(j *shardJob, rs []Result, matches []int, m *shardMetrics, events *obs.Ring) int64 {
+	if l.cache == nil {
+		return classifyBatchSeqs(l.cl, l.bc, j.seqs, j.hs, rs, matches)
 	}
-	for attempt := 0; s.gen == nil || attempt < maxGenRetries; attempt++ {
+	for attempt := 0; l.gen == nil || attempt < maxGenRetries; attempt++ {
 		var gen uint64
-		if s.gen != nil {
-			gen = s.gen.Generation()
-			if gen != s.lastGen {
-				s.cache.AdvanceEpoch()
-				s.lastGen = gen
+		if l.gen != nil {
+			gen = l.gen.Generation()
+			if gen != l.lastGen {
+				l.cache.AdvanceEpoch()
+				l.lastGen = gen
 				// Rare by design (once per hot-swap per shard), so the
 				// formatted event record stays off the steady-state path.
-				s.events.Recordf(obs.EventCacheInvalidate,
+				events.Recordf(obs.EventCacheInvalidate,
 					"shard flow cache epoch advanced at generation %d", gen)
 			}
 		}
-		n := classifyBatchSeqs(s.cache, s.cache, j.seqs, j.hs, rs, matches)
-		if s.gen == nil || s.gen.Generation() == gen {
+		n := classifyBatchSeqs(l.cache, l.cache, j.seqs, j.hs, rs, matches)
+		if l.gen == nil || l.gen.Generation() == gen {
 			return n
 		}
 		// A swap landed mid-batch: results may mix generations. Loop and
@@ -188,8 +201,8 @@ func (s *shard) classifyJob(j *shardJob, rs []Result, matches []int) int64 {
 	}
 	// Churn outpaced the retry budget: serve this batch cache-free. The
 	// next batch re-enters the protocol (and stales the cache then).
-	s.m.addCacheBypass()
-	return classifyBatchSeqs(s.cl, s.bc, j.seqs, j.hs, rs, matches)
+	m.addCacheBypass()
+	return classifyBatchSeqs(l.cl, l.bc, j.seqs, j.hs, rs, matches)
 }
 
 // classifyBatchSeqs is classifyBatch for scattered sequence numbers: the
@@ -227,7 +240,7 @@ func runSharded(ctx context.Context, cl Classifier, cfg Config, headers []rules.
 	// nothing in the early-return path would ever close them.
 	shards := make([]*shard, nShards)
 	for i := range shards {
-		s := &shard{jobs: make(chan *shardJob, cfg.QueueDepth), cl: cl, bc: bc}
+		s := &shard{lane: lane{cl: cl, bc: bc}, jobs: make(chan *shardJob, cfg.QueueDepth)}
 		s.jobPool.New = func() any {
 			return &shardJob{
 				seqs: make([]uint64, 0, cfg.BatchSize),

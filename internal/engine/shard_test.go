@@ -343,10 +343,10 @@ func TestShardedHotPathDoesNotAllocate(t *testing.T) {
 	matches := make([]int, 64)
 
 	// Batched arena walk, no cache: the sharded twin of classifyBatch.
-	s := &shard{cl: tree, bc: tree}
+	s := &shard{lane: lane{cl: tree, bc: tree}}
 	j := newJob()
 	if n := testing.AllocsPerRun(100, func() {
-		s.classifyJob(j, rsBuf, matches)
+		s.lane.classifyJob(j, rsBuf, matches, nil, nil)
 	}); n != 0 {
 		t.Errorf("sharded arena batch walk allocates %v/op, want 0", n)
 	}
@@ -358,10 +358,10 @@ func TestShardedHotPathDoesNotAllocate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sc := &shard{cl: tree2, bc: tree2, cache: fc}
-	sc.classifyJob(j, rsBuf, matches) // warm the cache
+	sc := &shard{lane: lane{cl: tree2, bc: tree2, cache: fc}}
+	sc.lane.classifyJob(j, rsBuf, matches, nil, nil) // warm the cache
 	if n := testing.AllocsPerRun(100, func() {
-		sc.classifyJob(j, rsBuf, matches)
+		sc.lane.classifyJob(j, rsBuf, matches, nil, nil)
 	}); n != 0 {
 		t.Errorf("sharded flow-cache hit path allocates %v/op, want 0", n)
 	}
@@ -374,14 +374,14 @@ func TestShardedHotPathDoesNotAllocate(t *testing.T) {
 	s.m, sc.m = m.shard(0), m.shard(1)
 	sc.events = obs.NewRing(16)
 	if n := testing.AllocsPerRun(100, func() {
-		p := s.classifyJob(j, rsBuf, matches)
+		p := s.lane.classifyJob(j, rsBuf, matches, nil, nil)
 		s.m.recordBatch(len(j.hs), time.Microsecond, 1)
 		s.m.addPanics(uint64(p))
 	}); n != 0 {
 		t.Errorf("instrumented arena batch walk allocates %v/op, want 0", n)
 	}
 	if n := testing.AllocsPerRun(100, func() {
-		p := sc.classifyJob(j, rsBuf, matches)
+		p := sc.lane.classifyJob(j, rsBuf, matches, nil, nil)
 		sc.m.recordBatch(len(j.hs), time.Microsecond, 1)
 		sc.m.addPanics(uint64(p))
 		hits, misses := sc.cache.Stats()

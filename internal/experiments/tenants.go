@@ -1,0 +1,317 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/buildgov"
+	"repro/internal/engine"
+	"repro/internal/faultinject"
+	"repro/internal/obs"
+	"repro/internal/tenant"
+	"repro/internal/update"
+)
+
+// TenantRow is one configuration of the multi-tenant isolation
+// experiment: the victim tenant's serving throughput and latency with
+// and without a hostile co-resident tenant, plus the whole-box
+// aggregate when the hostile tenant's (degraded, linear-served) traffic
+// shares the stream.
+type TenantRow struct {
+	Mode string // "solo" or "hostile"
+	// VictimMpps is the victim tenant's throughput over its own pure
+	// stream — the column the isolation guarantee is about.
+	VictimMpps float64
+	// VictimNsPerPkt is the same reading as per-packet latency.
+	VictimNsPerPkt float64
+	// AggregateMpps is whole-box throughput over the mixed stream
+	// (victim + a 1/16 share of hostile-tenant packets; on the solo row
+	// the stream is pure victim, so it equals VictimMpps).
+	AggregateMpps float64
+	// UpdatesPerSec is the hostile tenant's sustained delta-churn rate
+	// while the victim rows were measured (0 on the solo row).
+	UpdatesPerSec float64
+	// IsolationRatio is the victim's hostile/solo throughput ratio (set on
+	// the hostile row; the acceptance floor is 0.9 — ≤ 10% degradation).
+	// It is the median of the per-rep paired ratios, where each rep times
+	// the solo and hostile windows back-to-back — NOT the quotient of the
+	// two VictimMpps columns, which are each best-of-reps and may come
+	// from different reps. The median of paired readings is the stable
+	// estimator of interference on a shared host; the quotient of two
+	// independently-selected best windows is not.
+	IsolationRatio float64
+	// VictimAlgo/HostileAlgo are DescribeAlgorithm of each tenant after
+	// the row ran: the victim must stay "expcuts", the hostile tenant is
+	// pinned to "linear" by its tripped budget.
+	VictimAlgo  string
+	HostileAlgo string
+}
+
+// tenantHostileMix is the hostile share of the mixed (aggregate) stream:
+// one hostile packet per tenantHostileMix packets. The hostile tenant
+// serves linear over a wildcard storm — orders slower per packet than
+// the victim's expcuts — so its share models a noisy-neighbor trickle,
+// not an equal partner; the victim columns come from the pure stream.
+const tenantHostileMix = 16
+
+// tenantStormRules sizes the hostile tenant's WildcardStorm table.
+const tenantStormRules = 160
+
+// tenantReps is how many solo/hostile/mixed rep triples the experiment
+// samples. Higher than serveReps because the isolation ratio needs one
+// rep where BOTH halves of the pair landed in a quiet host window, and
+// each triple only costs a few tens of milliseconds.
+const tenantReps = 15
+
+// tenantPasses is how many times each timed measurement runs its stream.
+// One pass over a 25k-packet stream is ~4ms of serving — a single
+// scheduler preemption on a shared box erases half of it. Twelve passes
+// stretch the timed window to ~45ms so preemptions amortize instead of
+// deciding the row.
+const tenantPasses = 12
+
+// Tenants measures hostile-tenant isolation on the serving path. The
+// victim tenant serves the standard ACL1K trace through the tenant
+// engine twice: once alone in the registry ("solo"), and once
+// co-resident with a hostile tenant ("hostile") — a WildcardStorm table
+// whose tripped build budget pins it to the linear rung, with a
+// FlappingUpdater goroutine churning its delta layer as fast as the
+// manager absorbs (paced only by a 1ms breather) for the whole
+// measurement. The victim-Mpps gap between the rows is the total
+// control-plane interference tenancy failed to isolate: flow-cache
+// pressure, admission-governor contention, allocator and GC noise from
+// the churn. The registry's COW snapshots and per-tenant generations
+// are why the gap stays inside the ≤ 10% acceptance band.
+func Tenants(ctx Context, batchSize, shards int) ([]TenantRow, error) {
+	ctx.fillDefaults()
+	if batchSize == 0 {
+		batchSize = engine.DefaultBatchSize
+	}
+	victimRS, err := ServeRuleSet(ctx.Seed)
+	if err != nil {
+		return nil, err
+	}
+	trace, err := ctx.headers(victimRS)
+	if err != nil {
+		return nil, err
+	}
+	storm := faultinject.WildcardStorm("hostile-storm", tenantStormRules, ctx.Seed+7)
+	stormTrace, err := ctx.headers(storm)
+	if err != nil {
+		return nil, err
+	}
+
+	const victimID, hostileID = 1, 2
+	pure := make([]engine.TenantPacket, ctx.Packets)
+	for i := range pure {
+		pure[i] = engine.TenantPacket{Tenant: victimID, Header: trace[i%len(trace)]}
+	}
+	mixed := make([]engine.TenantPacket, ctx.Packets)
+	for i := range mixed {
+		if i%tenantHostileMix == tenantHostileMix-1 {
+			mixed[i] = engine.TenantPacket{Tenant: hostileID, Header: stormTrace[i%len(stormTrace)]}
+		} else {
+			mixed[i] = engine.TenantPacket{Tenant: victimID, Header: trace[i%len(trace)]}
+		}
+	}
+
+	cfg := engine.DefaultConfig()
+	cfg.BatchSize = batchSize
+	cfg.FlowCacheFlows = 1024
+	if shards > 0 {
+		cfg.Shards = shards
+	}
+
+	// serveOnce times tenantPasses consecutive runs of one stream against
+	// the registry as a single measurement window. The forced GC first
+	// means every window starts from the same heap state: without it the
+	// allocation-heavy hostile windows accrue GC debt that the pacer then
+	// collects during the NEXT window — systematically taxing whichever
+	// mode runs second and skewing the solo/hostile comparison.
+	serveOnce := func(reg *tenant.Registry, pkts []engine.TenantPacket) (time.Duration, error) {
+		runtime.GC()
+		start := time.Now()
+		for pass := 0; pass < tenantPasses; pass++ {
+			if _, err := engine.RunTenants(context.Background(), reg, cfg, pkts, nil); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start), nil
+	}
+	victimCfg := tenant.Config{
+		Name:   "victim",
+		Update: update.Config{ValidateSamples: -1, CompactThreshold: -1},
+	}
+
+	// Solo registry: the victim alone. The solo and hostile rows are
+	// measured rep-interleaved below, never in separate windows: on a
+	// shared box the load regime shifts on second scales, and measuring
+	// the rows back-to-back in each rep is what keeps IsolationRatio a
+	// reading of tenancy interference instead of host weather.
+	soloReg := tenant.NewRegistry(tenant.Options{})
+	soloVictim, err := soloReg.Add(victimID, victimRS, victimCfg)
+	if err != nil {
+		return nil, fmt.Errorf("tenants: solo victim: %w", err)
+	}
+	soloAlgo, _ := soloVictim.DescribeAlgorithm()
+
+	// Hostile registry: same victim next to the storm tenant, whose budget
+	// cannot fit any tree rung, with delta churn for the whole row.
+	reg := tenant.NewRegistry(tenant.Options{Events: obs.NewRing(256)})
+	victim, err := reg.Add(victimID, victimRS, victimCfg)
+	if err != nil {
+		return nil, fmt.Errorf("tenants: victim: %w", err)
+	}
+	hostile, err := reg.Add(hostileID, storm, tenant.Config{
+		Name:   "hostile",
+		Budget: &buildgov.Budget{MaxNodes: 48},
+		// Auto-compaction stays on (the production config): without it the
+		// hostile delta grows all run, ApplyDelta slows from microseconds
+		// toward milliseconds, and the churn goroutine's rising duty cycle
+		// — not a tenancy leak — eats a core out from under the victim.
+		Update:         update.Config{ValidateSamples: -1},
+		ShedOnOverload: true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("tenants: hostile: %w", err)
+	}
+
+	pool, err := ServeRuleSet(ctx.Seed + 13)
+	if err != nil {
+		return nil, err
+	}
+	// The churn goroutine locks gate per burst; solo reps hold the gate so
+	// the churn (which only exists in the hostile scenario) never steals
+	// cycles from the solo reading it is being compared against.
+	flap := faultinject.NewFlappingUpdater(storm.Rules, pool.Rules[:64], ctx.Seed+21)
+	var ops atomic.Uint64
+	var gate sync.Mutex
+	churnCtx, stopChurn := context.WithCancel(context.Background())
+	defer stopChurn()
+	var churn sync.WaitGroup
+	churn.Add(1)
+	var churnErr atomic.Value
+	go func() {
+		defer churn.Done()
+		for churnCtx.Err() == nil {
+			gate.Lock()
+			burst := flap.NextBurst()
+			err := hostile.ApplyDelta(burst)
+			gate.Unlock()
+			if err != nil {
+				churnErr.Store(err)
+				return
+			}
+			ops.Add(uint64(len(burst)))
+			// 1ms pacing: a hostile tenant churning ~1k bursts/s is still
+			// orders beyond realistic rule-update rates, while keeping the
+			// churn goroutine's scheduler share — CPU interference no
+			// generation or admission machinery can hide on a small core
+			// count — from dominating the isolation reading itself.
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	// Each rep measures solo, hostile-pure and hostile-mixed back-to-back.
+	// The throughput columns take the best window per mode (the usual
+	// best-of-reps estimator); the isolation ratio instead takes the
+	// median of per-rep PAIRED ratios, because each rep's solo and
+	// hostile windows share one load regime while two best windows from
+	// different reps do not.
+	var bestSolo, bestHostile, bestMixed time.Duration
+	ratios := make([]float64, 0, tenantReps)
+	var hostileOps uint64
+	var hostileDur time.Duration
+	for rep := 0; rep < tenantReps; rep++ {
+		gate.Lock()
+		dSolo, runErr := serveOnce(soloReg, pure)
+		gate.Unlock()
+		if runErr != nil {
+			return nil, fmt.Errorf("tenants: solo run: %w", runErr)
+		}
+		o0, t0 := ops.Load(), time.Now()
+		dHostile, runErr := serveOnce(reg, pure)
+		if runErr == nil {
+			var dMixed time.Duration
+			dMixed, runErr = serveOnce(reg, mixed)
+			if runErr == nil {
+				hostileOps += ops.Load() - o0
+				hostileDur += time.Since(t0)
+				ratios = append(ratios, dSolo.Seconds()/dHostile.Seconds())
+				if rep == 0 || dSolo < bestSolo {
+					bestSolo = dSolo
+				}
+				if rep == 0 || dHostile < bestHostile {
+					bestHostile = dHostile
+				}
+				if rep == 0 || dMixed < bestMixed {
+					bestMixed = dMixed
+				}
+				continue
+			}
+		}
+		return nil, fmt.Errorf("tenants: hostile run: %w", runErr)
+	}
+	stopChurn()
+	churn.Wait()
+	if cerr, _ := churnErr.Load().(error); cerr != nil {
+		return nil, fmt.Errorf("tenants: hostile churn: %w", cerr)
+	}
+
+	toMpps := func(d time.Duration) float64 {
+		return float64(ctx.Packets) * tenantPasses / d.Seconds() / 1e6
+	}
+	soloMpps, hostileMpps := toMpps(bestSolo), toMpps(bestHostile)
+	sort.Float64s(ratios)
+	isolation := ratios[len(ratios)/2]
+	vAlgo, _ := victim.DescribeAlgorithm()
+	hAlgo, _ := hostile.DescribeAlgorithm()
+	return []TenantRow{
+		{
+			Mode: "solo", VictimMpps: soloMpps, AggregateMpps: soloMpps,
+			VictimNsPerPkt: 1e3 / soloMpps, VictimAlgo: soloAlgo,
+		},
+		{
+			Mode: "hostile", VictimMpps: hostileMpps, AggregateMpps: toMpps(bestMixed),
+			VictimNsPerPkt: 1e3 / hostileMpps,
+			UpdatesPerSec:  float64(hostileOps) / hostileDur.Seconds(),
+			IsolationRatio: isolation,
+			VictimAlgo:     vAlgo, HostileAlgo: hAlgo,
+		},
+	}, nil
+}
+
+// RenderTenants formats the isolation rows.
+func RenderTenants(rows []TenantRow, batchSize, shards int) string {
+	if batchSize == 0 {
+		batchSize = engine.DefaultBatchSize
+	}
+	table := make([][]string, len(rows))
+	for i, r := range rows {
+		iso := "—"
+		if r.IsolationRatio > 0 {
+			iso = fmt.Sprintf("%.2f", r.IsolationRatio)
+		}
+		algo := r.VictimAlgo
+		if r.HostileAlgo != "" {
+			algo += "/" + r.HostileAlgo
+		}
+		table[i] = []string{
+			r.Mode,
+			fmt.Sprintf("%.2f", r.VictimMpps),
+			fmt.Sprintf("%.0f", r.VictimNsPerPkt),
+			fmt.Sprintf("%.2f", r.AggregateMpps),
+			fmt.Sprintf("%.0f", r.UpdatesPerSec),
+			iso,
+			algo,
+		}
+	}
+	return fmt.Sprintf("Hostile-tenant isolation — victim ACL1K (%d rules) vs WildcardStorm(%d), batch=%d, shards=%d\n%s",
+		ServeRuleSize, tenantStormRules, batchSize, shards,
+		renderTable([]string{"Mode", "Victim Mpps", "Victim ns/pkt", "Aggregate Mpps", "Updates/s", "Isolation", "Algo (victim/hostile)"}, table))
+}

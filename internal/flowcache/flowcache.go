@@ -251,7 +251,20 @@ func (c *Cache) Invalidate() {
 // publishes a new generation, the shard bumps the epoch, and a cached
 // decision for the deleted rule can never be served again, without paying
 // an O(capacity) clear per churn event.
-func (c *Cache) AdvanceEpoch() { c.epoch++ }
+//
+// The epoch counter is a uint64, so wrapping takes 2^64 advances — but a
+// wrap would be catastrophic rather than merely unlikely: a slot last
+// refreshed at epoch E would satisfy the equality gate again when the
+// counter returns to E, serving a decision staled 2^64 invalidations ago
+// as fresh. The once-per-wrap O(capacity) Invalidate makes every pre-wrap
+// slot unreachable (the index is cleared), so correctness never rests on
+// the counter not wrapping.
+func (c *Cache) AdvanceEpoch() {
+	c.epoch++
+	if c.epoch == 0 {
+		c.Invalidate()
+	}
+}
 
 // Len returns the number of cached flows (including epoch-staled entries
 // whose slots have not been refreshed yet).

@@ -1,0 +1,209 @@
+package tenant
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/buildgov"
+	"repro/internal/obs"
+)
+
+func TestAdmissionFastPath(t *testing.T) {
+	a := NewAdmission(2, 0, nil)
+	ctx := context.Background()
+	if err := a.Acquire(ctx, 1, 1<<20); err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	if err := a.Acquire(ctx, 2, 1<<20); err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	builds, heap := a.Inflight()
+	if builds != 2 || heap != 2<<20 {
+		t.Fatalf("Inflight = %d, %d; want 2, %d", builds, heap, int64(2<<20))
+	}
+	a.Release(1 << 20)
+	a.Release(1 << 20)
+	if builds, heap := a.Inflight(); builds != 0 || heap != 0 {
+		t.Fatalf("after releases Inflight = %d, %d; want 0, 0", builds, heap)
+	}
+}
+
+// TestAdmissionAlwaysAdmitsWhenIdle: a single build whose declared
+// charge exceeds the heap bound must still be admitted — the governor's
+// analogue of the ladder always attempting its final rung.
+func TestAdmissionAlwaysAdmitsWhenIdle(t *testing.T) {
+	a := NewAdmission(4, 100, nil)
+	if err := a.Acquire(context.Background(), 1, 1000); err != nil {
+		t.Fatalf("idle governor refused an oversized build: %v", err)
+	}
+	// But a second oversized build must wait for the first.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := a.Acquire(ctx, 2, 1000); err == nil {
+		t.Fatal("second oversized build admitted alongside the first")
+	}
+	a.Release(1000)
+}
+
+func TestAdmissionStarvationError(t *testing.T) {
+	ring := obs.NewRing(16)
+	a := NewAdmission(1, 0, ring)
+	if err := a.Acquire(context.Background(), 1, 0); err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	err := a.Acquire(ctx, 2, 0)
+	if err == nil {
+		t.Fatal("Acquire succeeded past a full governor")
+	}
+	var se *StarvedError
+	if !errors.As(err, &se) || se.Tenant != 2 {
+		t.Fatalf("error = %v (%T); want *StarvedError for tenant 2", err, err)
+	}
+	// The ladder contract: starvation IS a budget trip.
+	if !errors.Is(err, buildgov.ErrBudgetExceeded) {
+		t.Fatalf("StarvedError does not unwrap to buildgov.ErrBudgetExceeded: %v", err)
+	}
+	if a.Starved() != 1 {
+		t.Fatalf("Starved = %d, want 1", a.Starved())
+	}
+	found := false
+	for _, ev := range ring.Snapshot() {
+		if ev.Kind == obs.EventBudgetStarved {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no budget-starved event recorded")
+	}
+	if a.Waiting() != 0 {
+		t.Fatalf("expired waiter still queued: Waiting = %d", a.Waiting())
+	}
+	a.Release(0)
+}
+
+// TestAdmissionFairShare: tenant 1 floods the queue with builds, tenant
+// 2 asks for one. Round-robin must grant tenant 2's single build after
+// at most one of tenant 1's, not after all of them.
+func TestAdmissionFairShare(t *testing.T) {
+	a := NewAdmission(1, 0, nil)
+	if err := a.Acquire(context.Background(), 9, 0); err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+
+	const floods = 8
+	grants := make(chan ID, floods+1)
+	var wg sync.WaitGroup
+	acquire := func(id ID) {
+		defer wg.Done()
+		if err := a.Acquire(context.Background(), id, 0); err != nil {
+			t.Errorf("tenant %v: %v", id, err)
+			return
+		}
+		grants <- id
+		a.Release(0)
+	}
+	wg.Add(floods)
+	for i := 0; i < floods; i++ {
+		go acquire(1)
+	}
+	// Let the flood queue up before tenant 2 arrives (arrival order is
+	// what makes the fairness observable).
+	for deadline := time.Now().Add(time.Second); a.Waiting() < floods; {
+		if time.Now().After(deadline) {
+			t.Fatalf("flood never queued: Waiting = %d", a.Waiting())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	wg.Add(1)
+	go acquire(2)
+	for deadline := time.Now().Add(time.Second); a.Waiting() < floods+1; {
+		if time.Now().After(deadline) {
+			t.Fatalf("tenant 2 never queued: Waiting = %d", a.Waiting())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	a.Release(0) // open the single slot; grants chain via Release
+	wg.Wait()
+	close(grants)
+
+	pos := -1
+	i := 0
+	for id := range grants {
+		if id == 2 {
+			pos = i
+		}
+		i++
+	}
+	if pos < 0 {
+		t.Fatal("tenant 2 never granted")
+	}
+	// Fair share: at most one tenant-1 grant may precede tenant 2.
+	if pos > 1 {
+		t.Fatalf("tenant 2 granted at position %d behind %d tenant-1 builds; fair share allows at most 1", pos, pos)
+	}
+}
+
+// TestAdmissionHeapBound: builds queue when aggregate reserved heap
+// would exceed the bound, and drain as heap frees.
+func TestAdmissionHeapBound(t *testing.T) {
+	a := NewAdmission(8, 100, nil)
+	ctx := context.Background()
+	if err := a.Acquire(ctx, 1, 60); err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- a.Acquire(ctx, 2, 60) }()
+	select {
+	case err := <-done:
+		t.Fatalf("second 60-byte build admitted over a 100-byte bound (err=%v)", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	a.Release(60)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("queued build errored: %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("queued build never granted after heap freed")
+	}
+	a.Release(60)
+}
+
+// TestAdmissionNoQueueJumping: while anyone is queued, a fresh Acquire
+// must join the queue even when its own (smaller) charge would fit —
+// otherwise a stream of small builds starves the rotor's head forever.
+func TestAdmissionNoQueueJumping(t *testing.T) {
+	a := NewAdmission(4, 100, nil)
+	ctx := context.Background()
+	if err := a.Acquire(ctx, 1, 60); err != nil {
+		t.Fatal(err)
+	}
+	// Tenant 2 wants 60: does not fit next to 60/100, queues.
+	big := make(chan error, 1)
+	go func() { big <- a.Acquire(ctx, 2, 60) }()
+	for deadline := time.Now().Add(time.Second); a.Waiting() == 0; {
+		if time.Now().After(deadline) {
+			t.Fatal("big waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Tenant 3 wants 10: it WOULD fit (70/100), but the rotor is
+	// non-empty, so it must wait its turn behind tenant 2.
+	ctx3, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := a.Acquire(ctx3, 3, 10); err == nil {
+		t.Fatal("small build jumped the queue past a waiting larger build")
+	}
+	a.Release(60)
+	if err := <-big; err != nil {
+		t.Fatalf("queued tenant: %v", err)
+	}
+	a.Release(60)
+}

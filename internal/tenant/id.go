@@ -1,0 +1,58 @@
+// Package tenant multiplexes many independent rule tables over one
+// serving runtime. Each tenant owns a full update.Manager — its own
+// copy-on-write generations, its own degradation ladder, its own
+// circuit breakers and build budget — while a Registry maps tenant IDs
+// to those managers behind the engine's TenantResolver contract with a
+// copy-on-write snapshot map (one atomic load per lookup, no lock on
+// the packet path). The only globally shared control structure is the
+// build Admission governor, which bounds aggregate build concurrency
+// and heap so N tenants rebuilding at once cannot OOM the process, and
+// queues the overflow fair-share so no tenant can starve the others.
+package tenant
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// ID identifies a tenant. 32 bits wide to match what the wire carries
+// (a VLAN/VNI-style tag, not a name): packets enter the engine as
+// (tenant, header) pairs and the ID is the whole routing key.
+type ID uint32
+
+// ParseID parses a tenant ID from its wire/CLI text form: a decimal
+// number, or hex with an 0x/0X prefix. The grammar is deliberately
+// strict — no signs, no spaces, no digit separators, no octal/binary
+// prefixes, value within 32 bits — because IDs cross trust boundaries
+// (config files, management APIs, traces) and every laxity in an ID
+// parser eventually becomes two tenants with "different" IDs resolving
+// to the same table.
+func ParseID(s string) (ID, error) {
+	base := 10
+	digits := s
+	if len(s) > 1 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X') {
+		base = 16
+		digits = s[2:]
+	}
+	if digits == "" {
+		return 0, fmt.Errorf("tenant: empty ID %q", s)
+	}
+	for i := 0; i < len(digits); i++ {
+		c := digits[i]
+		ok := c >= '0' && c <= '9'
+		if base == 16 {
+			ok = ok || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+		}
+		if !ok {
+			return 0, fmt.Errorf("tenant: invalid ID %q: bad digit %q", s, c)
+		}
+	}
+	v, err := strconv.ParseUint(digits, base, 32)
+	if err != nil {
+		return 0, fmt.Errorf("tenant: invalid ID %q: %w", s, err)
+	}
+	return ID(v), nil
+}
+
+// String renders the ID in its canonical decimal form.
+func (id ID) String() string { return strconv.FormatUint(uint64(id), 10) }

@@ -1,0 +1,83 @@
+package tenant
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestParseID(t *testing.T) {
+	good := map[string]ID{
+		"0":          0,
+		"7":          7,
+		"4242":       4242,
+		"007":        7, // leading zeros are still decimal digits
+		"4294967295": 4294967295,
+		"0x0":        0,
+		"0xFF":       255,
+		"0Xff":       255,
+		"0xDEADBEEF": 0xDEADBEEF,
+	}
+	for in, want := range good {
+		got, err := ParseID(in)
+		if err != nil {
+			t.Errorf("ParseID(%q): %v", in, err)
+		} else if got != want {
+			t.Errorf("ParseID(%q) = %v, want %v", in, got, want)
+		}
+	}
+	bad := []string{
+		"", "-1", "+1", " 1", "1 ", "1_000", "0b101", "0o17", "0x", "0X",
+		"4294967296", "0x100000000", "abc", "0xzz", "1.5", "1e3", "٣", "12\n",
+	}
+	for _, in := range bad {
+		if got, err := ParseID(in); err == nil {
+			t.Errorf("ParseID(%q) = %v, want error", in, got)
+		}
+	}
+}
+
+func TestIDStringRoundTrip(t *testing.T) {
+	for _, id := range []ID{0, 1, 255, 1 << 20, 4294967295} {
+		back, err := ParseID(id.String())
+		if err != nil || back != id {
+			t.Errorf("round trip %v -> %q -> %v, %v", id, id.String(), back, err)
+		}
+	}
+}
+
+// FuzzParseID fuzzes the wire-facing ID parser: it must never panic,
+// every accepted input must round-trip through the canonical form to the
+// same value, and acceptance must agree with a strict reference grammar.
+func FuzzParseID(f *testing.F) {
+	for _, seed := range []string{
+		"0", "1", "4242", "4294967295", "4294967296", "0xFF", "0Xff",
+		"0xDEADBEEF", "0x100000000", "", "-1", "+7", "1_0", "0b1", "0o7",
+		"0x", " 1", "1 ", "abc", "007", "٣٤", "1.5",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		id, err := ParseID(s)
+		if err != nil {
+			return
+		}
+		// Accepted: must round-trip through the canonical decimal form.
+		back, err2 := ParseID(id.String())
+		if err2 != nil || back != id {
+			t.Fatalf("ParseID(%q) = %v, but canonical %q re-parses to %v, %v",
+				s, id, id.String(), back, err2)
+		}
+		// Cross-check against strconv on the digit body.
+		digits, base := s, 10
+		if len(s) > 1 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X') {
+			digits, base = s[2:], 16
+		}
+		want, refErr := strconv.ParseUint(digits, base, 32)
+		if refErr != nil {
+			t.Fatalf("ParseID(%q) accepted what strconv rejects: %v", s, refErr)
+		}
+		if ID(want) != id {
+			t.Fatalf("ParseID(%q) = %v, reference says %d", s, id, want)
+		}
+	})
+}

@@ -1,0 +1,69 @@
+package tenant
+
+import (
+	"repro/internal/obs"
+)
+
+// Collect is the obs.Collector for the registry: admission-governor
+// series plus the per-tenant serving and health series, every tenant
+// series carrying a tenant label. Scrape-path only — the per-tenant
+// health reads are the same atomics update.Manager.Health reads, and
+// the serving counters are the ones Absorb feeds after each run.
+func (r *Registry) Collect(emit func(obs.Sample)) {
+	builds, heap := r.adm.Inflight()
+	emit(obs.Sample{Name: "pc_tenant_builds_inflight",
+		Help: "Builds currently admitted by the global admission budget.",
+		Type: "gauge", Value: float64(builds)})
+	emit(obs.Sample{Name: "pc_tenant_build_heap_bytes",
+		Help: "Aggregate heap reserved by admitted builds.",
+		Type: "gauge", Value: float64(heap)})
+	emit(obs.Sample{Name: "pc_tenant_builds_waiting",
+		Help: "Builds queued behind the global admission budget.",
+		Type: "gauge", Value: float64(r.adm.Waiting())})
+	emit(obs.Sample{Name: "pc_tenant_builds_admitted_total",
+		Help: "Builds admitted by the global admission budget.",
+		Type: "counter", Value: float64(r.adm.admitted.Load())})
+	emit(obs.Sample{Name: "pc_tenant_builds_queued_total",
+		Help: "Builds that had to wait for admission.",
+		Type: "counter", Value: float64(r.adm.waited.Load())})
+	emit(obs.Sample{Name: "pc_tenant_builds_starved_total",
+		Help: "Builds whose admission wait expired (budget-starved).",
+		Type: "counter", Value: float64(r.adm.starved.Load())})
+	emit(obs.Sample{Name: "pc_tenant_refused_packets_total",
+		Help: "Packets offered for tenants not in the registry.",
+		Type: "counter", Value: float64(r.refused.Load())})
+	emit(obs.Sample{Name: "pc_tenant_count",
+		Help: "Registered tenants.",
+		Type: "gauge", Value: float64(r.Len())})
+
+	m := *r.live.Load()
+	for _, rt := range m {
+		lbl := []obs.Label{{Key: "tenant", Value: rt.id.String()}}
+		counter := func(name, help string, v uint64) {
+			emit(obs.Sample{Name: name, Help: help, Type: "counter", Labels: lbl, Value: float64(v)})
+		}
+		gauge := func(name, help string, v float64) {
+			emit(obs.Sample{Name: name, Help: help, Type: "gauge", Labels: lbl, Value: v})
+		}
+		counter("pc_tenant_packets_total", "Packets classified for the tenant.", rt.classified.Load())
+		counter("pc_tenant_shed_total", "Tenant packets shed under overload or refusal.", rt.shedded.Load())
+		counter("pc_tenant_canceled_total", "Tenant packets canceled by run deadlines.", rt.canceled.Load())
+		counter("pc_tenant_panics_total", "Tenant packets failed with contained classifier panics.", rt.panicked.Load())
+		counter("pc_tenant_offered_total", "Packets offered for the tenant.", rt.offered.Load())
+
+		h := rt.Health()
+		gauge("pc_tenant_degradation_level", "Tenant's live ladder rung (0 = preferred builder).", float64(h.DegradationLevel))
+		gauge("pc_tenant_generation", "Tenant's live rule-set generation.", float64(h.Generation))
+		gauge("pc_tenant_rules", "Tenant's live rule count.", float64(h.Rules))
+		gauge("pc_tenant_memory_bytes", "Tenant's live classifier footprint.", float64(h.MemoryBytes))
+		counter("pc_tenant_build_trips_total", "Tenant builds aborted by its buildgov budget (or starved of admission).", h.BudgetTrips)
+	}
+}
+
+// Register registers the registry collector on reg.
+func (r *Registry) Register(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Register(r.Collect)
+}

@@ -239,17 +239,26 @@ func (m *Manager) SetRules(rs []rules.Rule) error {
 // Quiesce blocks until no submission is pending or draining and no
 // compaction is in flight, or until timeout elapses; it reports whether
 // the manager quiesced. Intended for tests and orderly shutdown.
+//
+// Idle is decided as one atomic observation with both locks held
+// (pendMu, then mu — the nesting is safe because no path acquires pendMu
+// while holding mu: the drainer releases pendMu before SetRules takes
+// mu). Checking the two halves under separate acquisitions left a
+// window: a Submit landing between them — typically one that had been
+// waiting on pendMu behind a coalescing peer — made Quiesce report idle
+// with a submission pending and a drainer about to run, so callers
+// observed the coalesced rule set swap in *after* Quiesce returned true.
 func (m *Manager) Quiesce(timeout time.Duration) bool {
 	deadline := time.Now().Add(timeout)
 	for {
 		m.pendMu.Lock()
 		idle := m.pending == nil && !m.draining
-		m.pendMu.Unlock()
 		if idle {
 			m.mu.Lock()
 			idle = !m.compacting && !m.compactPending
 			m.mu.Unlock()
 		}
+		m.pendMu.Unlock()
 		if idle {
 			return true
 		}

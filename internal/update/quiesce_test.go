@@ -1,0 +1,140 @@
+package update
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/linear"
+	"repro/internal/rules"
+)
+
+// TestQuiesceSubmitRace pins the Quiesce/Submit race: Quiesce used to
+// decide "no submission pending or draining" under pendMu, release it,
+// and only then take mu for the compaction half — so a Submit landing
+// between the two acquisitions let Quiesce return true with a pending
+// rule set and a drainer about to swap it in. The fixed Quiesce holds
+// pendMu across the whole observation, which makes the check atomic: a
+// Submit either completes before the observation (and is seen) or blocks
+// on pendMu until after it (and happened after the linearization point).
+//
+// The schedule recreates the window deterministically against the old
+// code: the test holds m.mu, parking Quiesce exactly in the gap after
+// its pendMu verdict; a Submit then lands (old code: freely, because
+// pendMu was already released; new code: it blocks on pendMu). Whether
+// the Submit returned before m.mu was released is the witness — under
+// the fix it cannot have, so the violation check only ever fires on the
+// racy code. The mu handoff after release is a genuine race (Quiesce vs
+// the drainer's SetRules), so the schedule is iterated; one caught
+// violation fails the test.
+func TestQuiesceSubmitRace(t *testing.T) {
+	rsA := []rules.Rule{denyHost(0x01010101)}
+	rsB := []rules.Rule{denyHost(0x02020202)}
+
+	for iter := 0; iter < 25; iter++ {
+		var gated atomic.Bool
+		builder := func(rs *rules.RuleSet) (Classifier, error) {
+			if gated.Load() {
+				// Widen the post-Quiesce window: a drainer that won the mu
+				// race keeps draining=true for at least this long.
+				time.Sleep(10 * time.Millisecond)
+			}
+			return linear.New(rs), nil
+		}
+		m, err := NewManagerConfig(rules.NewRuleSet("q", rsA), builder,
+			Config{ValidateSamples: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gated.Store(true)
+
+		m.mu.Lock()
+		type verdict struct {
+			ok       bool
+			pending  bool
+			draining bool
+		}
+		quiesced := make(chan verdict, 1)
+		go func() {
+			ok := m.Quiesce(10 * time.Second)
+			// Capture the submission state as close to Quiesce's return as
+			// possible — this is what "idle" promised the caller.
+			m.pendMu.Lock()
+			v := verdict{ok: ok, pending: m.pending != nil, draining: m.draining}
+			m.pendMu.Unlock()
+			quiesced <- v
+		}()
+		time.Sleep(20 * time.Millisecond) // let Quiesce reach its mu wait
+
+		var submitReturned atomic.Bool
+		go func() {
+			m.Submit(rsB)
+			submitReturned.Store(true)
+		}()
+		time.Sleep(20 * time.Millisecond)
+
+		// Old code: Submit already returned (pendMu was free) and a drainer
+		// is parked on mu. New code: Submit is blocked on pendMu, which
+		// Quiesce holds until its observation completes.
+		submittedBeforeUnlock := submitReturned.Load()
+		m.mu.Unlock()
+
+		v := <-quiesced
+		if !v.ok {
+			t.Fatalf("iter %d: Quiesce timed out", iter)
+		}
+		if submittedBeforeUnlock && (v.pending || v.draining) {
+			t.Fatalf("iter %d: Quiesce returned true with a submission in flight (pending=%v draining=%v)",
+				iter, v.pending, v.draining)
+		}
+
+		// Whatever the interleaving, the submission must still land. Wait
+		// for Submit itself first — Quiesce only covers submissions that
+		// completed before it was called.
+		for !submitReturned.Load() {
+			time.Sleep(time.Millisecond)
+		}
+		if !m.Quiesce(10 * time.Second) {
+			t.Fatalf("iter %d: manager never quiesced after submit", iter)
+		}
+		snap, _ := m.Snapshot()
+		if len(snap) != 1 || snap[0] != rsB[0] {
+			t.Fatalf("iter %d: snapshot = %v, want submitted set %v", iter, snap, rsB)
+		}
+	}
+}
+
+// TestQuiesceDrainsUnderChurn hammers Submit from two goroutines and
+// checks the Quiesce contract end to end: once it reports idle after the
+// churn stops, the last submission must be fully applied — no coalesced
+// rule set may swap in after Quiesce returns true.
+func TestQuiesceDrainsUnderChurn(t *testing.T) {
+	m, err := NewManagerConfig(rules.NewRuleSet("q", []rules.Rule{denyHost(1)}),
+		func(rs *rules.RuleSet) (Classifier, error) {
+			return linear.New(rs), nil
+		}, Config{ValidateSamples: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{}, 2)
+	for g := 0; g < 2; g++ {
+		go func(g int) {
+			for i := 0; i < 200; i++ {
+				m.Submit([]rules.Rule{denyHost(uint32(g<<16 | i))})
+			}
+			done <- struct{}{}
+		}(g)
+	}
+	<-done
+	<-done
+	final := []rules.Rule{denyHost(0xFEEDBEEF)}
+	m.Submit(final)
+	if !m.Quiesce(30 * time.Second) {
+		t.Fatal("manager never quiesced")
+	}
+	snap, _ := m.Snapshot()
+	if fmt.Sprint(snap) != fmt.Sprint(final) {
+		t.Fatalf("snapshot after Quiesce = %v, want final submission %v", snap, final)
+	}
+}
