@@ -327,6 +327,51 @@ func BenchmarkServeClassifyBatch(b *testing.B) {
 	b.ReportMetric(perOp*1e9, "ns/pkt")
 }
 
+// BenchmarkServePipelined is BenchmarkServeBatched with the engine
+// routing every batch through the software-pipelined stage walk at the
+// whole-batch group size (the BENCH_PR8.json configuration).
+func BenchmarkServePipelined(b *testing.B) {
+	rs, headers := serveBenchSet(b)
+	tree, err := NewExpCuts(rs, ExpCutsConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := engine.DefaultConfig()
+	cfg.BatchSize = engine.DefaultBatchSize
+	cfg.PipelineGroup = engine.DefaultBatchSize
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunEngine(tree, cfg, headers, func(EngineResult) {}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*len(headers))/b.Elapsed().Seconds()/1e6, "Mpps")
+}
+
+// BenchmarkServeClassifyBatchPipelined measures the raw software-
+// pipelined stage walk (no engine) next to BenchmarkServeClassifyBatch's
+// level-synchronous reading — the allocation column is the regression
+// gate: steady state must be 0 allocs/op.
+func BenchmarkServeClassifyBatchPipelined(b *testing.B) {
+	rs, headers := serveBenchSet(b)
+	tree, err := NewExpCuts(rs, ExpCutsConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := headers[:engine.DefaultBatchSize]
+	out := make([]int, len(batch))
+	tree.ClassifyBatchPipelined(batch, out, len(batch), false) // warm the pooled scratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.ClassifyBatchPipelined(batch, out, len(batch), false)
+	}
+	b.StopTimer()
+	perOp := b.Elapsed().Seconds() / float64(b.N) / float64(len(batch))
+	b.ReportMetric(perOp*1e9, "ns/pkt")
+}
+
 // BenchmarkNPSimulate measures the discrete-event simulator itself
 // (simulated packets per wall-clock second).
 func BenchmarkNPSimulate(b *testing.B) {

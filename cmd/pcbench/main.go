@@ -7,8 +7,8 @@
 //	pcbench -experiment fig6,fig9 -packets 50000
 //
 // Experiments: fig6 fig7 fig8 fig9 tab2 tab4 tab5
-// stride habs popcount binth sharing extended ladder serve scaling obs
-// churn tenants all
+// stride habs popcount binth sharing extended ladder serve scaling
+// pipeline obs churn tenants all
 //
 // The ladder experiment walks every rule set (standard + pathological)
 // through the degradation ladder given by -ladder under the build budget
@@ -29,8 +29,13 @@
 // The tenants experiment measures hostile-tenant isolation: a victim
 // tenant's Mpps solo versus co-resident with a WildcardStorm tenant
 // churning its own delta layer (-tenants-shards sets the shard count;
-// the BENCH_PR7.json rows). -cpuprofile and -memprofile write pprof
-// profiles covering the selected experiments.
+// the BENCH_PR7.json rows). The pipeline experiment sweeps the
+// software-pipelined stage walk across -groups group sizes and
+// -pipeline-shards shard counts against the level-synchronous baseline
+// (the BENCH_PR8.json rows); -pipeline with -group additionally routes
+// the serve and scaling experiments through the staged walk, so any
+// serving comparison can be read pipelined. -cpuprofile and -memprofile
+// write pprof profiles covering the selected experiments.
 package main
 
 import (
@@ -43,13 +48,14 @@ import (
 	"time"
 
 	"repro/internal/buildgov"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/obs"
 )
 
 func main() {
 	var (
-		which    = flag.String("experiment", "all", "comma-separated experiment list (fig6 fig7 fig8 fig9 tab2 tab4 tab5 stride habs popcount binth sharing extended ladder serve scaling obs churn tenants all)")
+		which    = flag.String("experiment", "all", "comma-separated experiment list (fig6 fig7 fig8 fig9 tab2 tab4 tab5 stride habs popcount binth sharing extended ladder serve scaling pipeline obs churn tenants all)")
 		packets  = flag.Int("packets", 25000, "packets per simulation")
 		traceLen = flag.Int("trace", 2000, "distinct headers per trace")
 		seed     = flag.Int64("seed", 1, "trace seed")
@@ -61,6 +67,11 @@ func main() {
 
 		batch         = flag.Int("batch", 0, "serve/scaling/obs: engine batch size (0 = engine default)")
 		shardList     = flag.String("shards", "1,2,4,8", "scaling: comma-separated shard counts")
+		pipelined     = flag.Bool("pipeline", false, "serve/scaling: route classification through the software-pipelined stage walk")
+		group         = flag.Int("group", engine.PipelineAuto, "stage group size for -pipeline (-1 = auto from GOMAXPROCS)")
+		affine        = flag.Bool("affine", false, "pipeline: shard-affine counting-sorted walk order")
+		pipeShardList = flag.String("pipeline-shards", "1,2,4", "pipeline: comma-separated shard counts for the sweep")
+		groupList     = flag.String("groups", "", "pipeline: comma-separated stage group sizes for the sweep (empty = derived from batch)")
 		obsShards     = flag.Int("obs-shards", 4, "obs: shard count for the sharded overhead row")
 		churnShards   = flag.Int("churn-shards", 4, "churn: shard count for the live-update run")
 		tenantsShards = flag.Int("tenants-shards", 4, "tenants: shard count for the isolation run")
@@ -113,6 +124,10 @@ func main() {
 	}
 
 	ctx := experiments.Context{TraceLen: *traceLen, Packets: *packets, Seed: *seed}
+	if *pipelined {
+		ctx.PipelineGroup = *group
+		ctx.PipelineAffine = *affine
+	}
 
 	type driver struct {
 		name string
@@ -191,7 +206,7 @@ func main() {
 			return experiments.RenderServe(rows, *batch), nil
 		}},
 		{"scaling", func() (string, error) {
-			counts, err := parseShardCounts(*shardList)
+			counts, err := parseIntList(*shardList, "shard count")
 			if err != nil {
 				return "", err
 			}
@@ -200,6 +215,23 @@ func main() {
 				return "", err
 			}
 			return experiments.RenderScaling(rows, *batch), nil
+		}},
+		{"pipeline", func() (string, error) {
+			counts, err := parseIntList(*pipeShardList, "shard count")
+			if err != nil {
+				return "", err
+			}
+			var groups []int
+			if *groupList != "" {
+				if groups, err = parseIntList(*groupList, "group size"); err != nil {
+					return "", err
+				}
+			}
+			rows, fill, err := experiments.Pipeline(ctx, *batch, groups, counts, *affine)
+			if err != nil {
+				return "", err
+			}
+			return experiments.RenderPipeline(rows, fill, *batch), nil
 		}},
 		{"obs", func() (string, error) {
 			rows, err := experiments.MetricsOverhead(ctx, *batch, *obsShards)
@@ -251,15 +283,16 @@ func main() {
 	}
 }
 
-// parseShardCounts parses the -shards list ("1,2,4,8").
-func parseShardCounts(s string) ([]int, error) {
-	var counts []int
+// parseIntList parses a comma-separated list of positive integers
+// (the -shards, -pipeline-shards and -groups flags).
+func parseIntList(s, what string) ([]int, error) {
+	var out []int
 	for _, part := range strings.Split(s, ",") {
 		var n int
 		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &n); err != nil || n < 1 {
-			return nil, fmt.Errorf("invalid shard count %q", part)
+			return nil, fmt.Errorf("invalid %s %q", what, part)
 		}
-		counts = append(counts, n)
+		out = append(out, n)
 	}
-	return counts, nil
+	return out, nil
 }

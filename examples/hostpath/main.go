@@ -62,7 +62,11 @@ func main() {
 		}
 		var lastSeq uint64
 		first := true
-		_, err = repro.RunEngine(cache, repro.EngineConfig{Workers: 1, PreserveOrder: true}, hs,
+		// Shards must stay 1 here: the hand-built flow cache is a single
+		// mutable structure, and the engine's shard loops would otherwise
+		// call it concurrently (Shards defaults to GOMAXPROCS). Sharded
+		// setups let the engine own per-shard caches via FlowCacheFlows.
+		_, err = repro.RunEngine(cache, repro.EngineConfig{Workers: 1, Shards: 1, PreserveOrder: true}, hs,
 			func(r repro.EngineResult) {
 				if !first && r.Seq != lastSeq+1 {
 					log.Fatalf("packet reordered: %d after %d", r.Seq, lastSeq)

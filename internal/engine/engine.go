@@ -53,6 +53,64 @@ type BatchClassifier interface {
 	ClassifyBatch(hs []rules.Header, out []int)
 }
 
+// PipelinedClassifier is optionally implemented by classifiers whose
+// batched walk can run software-pipelined level stages (expcuts.Tree,
+// and update.Manager when its live generation does): packets advance in
+// interleaved groups so one group's lookups overlap the next group's
+// next-level line fills. ClassifyBatchPipelined must give exactly the
+// answers ClassifyBatch would; group and affine follow the semantics of
+// Config.PipelineGroup and Config.PipelineAffine.
+type PipelinedClassifier interface {
+	BatchClassifier
+	ClassifyBatchPipelined(hs []rules.Header, out []int, group int, affine bool)
+}
+
+// pipelined adapts a PipelinedClassifier to the BatchClassifier shape the
+// serve loops consume, pinning the run's stage group size and affinity so
+// every batch — including flow-cache miss sub-batches — takes the staged
+// walk.
+type pipelined struct {
+	pc     PipelinedClassifier
+	group  int
+	affine bool
+}
+
+func (p pipelined) Classify(h rules.Header) int { return p.pc.Classify(h) }
+
+func (p pipelined) ClassifyBatch(hs []rules.Header, out []int) {
+	p.pc.ClassifyBatchPipelined(hs, out, p.group, p.affine)
+}
+
+// batcher resolves the effective batched path for a run: the pipelined
+// stage walk when the config asks for it and the classifier supports it,
+// otherwise the classifier's own ClassifyBatch (nil when it has none).
+func (c *Config) batcher(cl Classifier) BatchClassifier {
+	if c.PipelineGroup > 0 {
+		if pc, ok := cl.(PipelinedClassifier); ok {
+			return pipelined{pc: pc, group: c.PipelineGroup, affine: c.PipelineAffine}
+		}
+	}
+	bc, _ := cl.(BatchClassifier)
+	return bc
+}
+
+// PipelineAuto, as Config.PipelineGroup, selects a GOMAXPROCS-derived
+// stage group size at run start (see AutoPipelineGroup).
+const PipelineAuto = -1
+
+// AutoPipelineGroup is the stage group size PipelineAuto resolves to: a
+// full default batch per group on a single core (one wave of independent
+// arena loads per level), shrinking as cores multiply — more concurrent
+// shard walks already share the cache hierarchy, so each walk keeps its
+// in-flight state smaller.
+func AutoPipelineGroup() int {
+	g := DefaultBatchSize / runtime.GOMAXPROCS(0)
+	if g < 8 {
+		g = 8
+	}
+	return g
+}
+
 // Describer is optionally implemented by classifiers that know which
 // algorithm is live and how degraded it is (0 = best rung of a
 // degradation ladder; higher = further down). update.Manager implements
@@ -140,6 +198,21 @@ type Config struct {
 	// endpoint wants. Nil disables instrumentation entirely at the cost
 	// of one pointer test per batch.
 	Metrics *Metrics
+	// PipelineGroup enables software-pipelined level-stage classification
+	// when the classifier implements PipelinedClassifier: every batch is
+	// walked in interleaved groups of this many packets (see
+	// expcuts.ClassifyBatchPipelined). 0 (the zero value) keeps the plain
+	// level-synchronous ClassifyBatch; PipelineAuto (-1) derives the group
+	// size from GOMAXPROCS at run start (AutoPipelineGroup); any other
+	// negative value is rejected. Classifiers without a pipelined walk
+	// serve exactly as before — the knob is a no-op for them.
+	PipelineGroup int
+	// PipelineAffine biases each pipelined group to one tree slice by
+	// sorting the batch's walk order by root key chunk before the staged
+	// walk (the multi-core analogue of per-microengine SRAM banking: a
+	// shard's working set concentrates on one contiguous region of every
+	// tree level). Requires PipelineGroup to be enabled.
+	PipelineAffine bool
 	// TenantPartitions bounds how many tenants may hold a resident flow
 	// cache partition per shard on the multi-tenant path (RunTenants):
 	// each resident tenant gets its own FlowCacheFlows-flow cache, and at
@@ -197,6 +270,15 @@ func (c *Config) fillDefaults() error {
 	}
 	if c.FlowCacheFlows < 0 {
 		return fmt.Errorf("engine: flow cache flows must be >= 0, got %d", c.FlowCacheFlows)
+	}
+	if c.PipelineGroup == PipelineAuto {
+		c.PipelineGroup = AutoPipelineGroup()
+	}
+	if c.PipelineGroup < 0 {
+		return fmt.Errorf("engine: pipeline group %d must be >= 0 (or PipelineAuto)", c.PipelineGroup)
+	}
+	if c.PipelineAffine && c.PipelineGroup == 0 {
+		return fmt.Errorf("engine: PipelineAffine requires PipelineGroup to be enabled")
 	}
 	if c.TenantPartitions == 0 {
 		c.TenantPartitions = DefaultTenantPartitions
@@ -325,7 +407,7 @@ func RunContext(ctx context.Context, cl Classifier, cfg Config, headers []rules.
 	pool := sync.Pool{New: func() any {
 		return &resultBatch{rs: make([]Result, 0, cfg.BatchSize)}
 	}}
-	bc, _ := cl.(BatchClassifier)
+	bc := cfg.batcher(cl)
 
 	var wg sync.WaitGroup
 	var panics, busyNanos atomic.Int64

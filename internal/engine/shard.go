@@ -231,7 +231,14 @@ func classifyBatchSeqs(cl Classifier, bc BatchClassifier, seqs []uint64, hs []ru
 func runSharded(ctx context.Context, cl Classifier, cfg Config, headers []rules.Header, emit func(Result)) (Stats, error) {
 	nShards := cfg.Shards
 	results := make(chan *resultBatch, cfg.QueueDepth)
-	bc, _ := cl.(BatchClassifier)
+	bc := cfg.batcher(cl)
+	// With pipelining on, the flow cache's slow path is the pipelined
+	// adapter, so cache-miss sub-batches take the staged walk too. The
+	// raw classifier keeps serving the per-packet and generation roles.
+	cacheSlow := cl
+	if bc != nil {
+		cacheSlow = bc
+	}
 
 	// Construct and validate every shard before launching any goroutine.
 	// The launch must not be folded into this loop: if shard i's flow
@@ -251,7 +258,7 @@ func runSharded(ctx context.Context, cl Classifier, cfg Config, headers []rules.
 			return &resultBatch{rs: make([]Result, 0, cfg.BatchSize)}
 		}
 		if cfg.FlowCacheFlows > 0 {
-			c, err := newFlowCache(cl, cfg.FlowCacheFlows)
+			c, err := newFlowCache(cacheSlow, cfg.FlowCacheFlows)
 			if err != nil {
 				return Stats{}, fmt.Errorf("engine: shard %d flow cache: %w", i, err)
 			}

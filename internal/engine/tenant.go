@@ -144,6 +144,10 @@ type tenantShard struct {
 	lanes    map[uint32]*tenantLaneState
 	parts    *flowcache.Partitioned // nil when FlowCacheFlows == 0
 	batch    int
+	// Pipelined stage walk for lanes whose classifier supports it
+	// (Config.PipelineGroup / Config.PipelineAffine).
+	pipeGroup  int
+	pipeAffine bool
 
 	busy time.Duration
 
@@ -183,12 +187,23 @@ func (s *tenantShard) laneFor(tid uint32) *lane {
 		ls.src = tl
 		ls.cl = tl
 		ls.bc, _ = tl.(BatchClassifier)
+		if s.pipeGroup > 0 {
+			if pc, ok := tl.(PipelinedClassifier); ok {
+				// The tenant's batches (and, below, its flow-cache
+				// partition's miss sub-batches) take the staged walk.
+				ls.bc = pipelined{pc: pc, group: s.pipeGroup, affine: s.pipeAffine}
+			}
+		}
 		ls.gen, _ = tl.(generationProvider)
 		ls.cache = nil
 		ls.lastGen = 0
 	}
 	if s.parts != nil {
-		c, err := s.parts.Partition(tid, tl)
+		slow := Classifier(tl)
+		if ls.bc != nil {
+			slow = ls.bc
+		}
+		c, err := s.parts.Partition(tid, slow)
 		if err != nil {
 			// Unreachable: bounds are validated at construction. Serve
 			// cache-free rather than fail the batch.
@@ -288,11 +303,13 @@ func RunTenants(ctx context.Context, resolver TenantResolver, cfg Config, pkts [
 	shards := make([]*tenantShard, nShards)
 	for i := range shards {
 		s := &tenantShard{
-			jobs:     make(chan *shardJob, cfg.QueueDepth),
-			si:       i,
-			resolver: resolver,
-			lanes:    make(map[uint32]*tenantLaneState),
-			batch:    cfg.BatchSize,
+			jobs:       make(chan *shardJob, cfg.QueueDepth),
+			si:         i,
+			resolver:   resolver,
+			lanes:      make(map[uint32]*tenantLaneState),
+			batch:      cfg.BatchSize,
+			pipeGroup:  cfg.PipelineGroup,
+			pipeAffine: cfg.PipelineAffine,
 		}
 		s.jobPool.New = func() any {
 			return &shardJob{

@@ -18,6 +18,21 @@ type batchScratch struct {
 
 var batchPool = sync.Pool{New: func() any { return new(batchScratch) }}
 
+// maxPooledBatch caps how large a scratch buffer the batch pools retain, in
+// packets. Scratch grown past this by a one-off jumbo batch is dropped on
+// Put instead of pinned in the pool forever (the engine's own batches are
+// bounded well below this; only direct callers can exceed it).
+const maxPooledBatch = 4096
+
+// release returns the scratch to the pool unless a jumbo batch grew it past
+// the retention cap.
+func (sc *batchScratch) release() {
+	if cap(sc.keys) > maxPooledBatch {
+		sc.keys = nil
+	}
+	batchPool.Put(sc)
+}
+
 // ClassifyBatch classifies hs[i] into out[i] (the engine's BatchClassifier
 // contract; out must be at least as long as hs). It computes every packet's
 // 104-bit key up front, then walks the flat node arena level-synchronously:
@@ -82,7 +97,7 @@ func (t *Tree) ClassifyBatch(hs []rules.Header, out []int) {
 	}
 
 	sc.keys = keys
-	batchPool.Put(sc)
+	sc.release()
 }
 
 // decodeRef converts a terminal ref to the Classify return convention.

@@ -66,6 +66,14 @@ type Config struct {
 	// deduplicates within its own memo scope), trading memory for build
 	// wall-clock.
 	BuildWorkers int
+
+	// noLevelMajor skips the BFS level-major node reorder that makes each
+	// level's arena entries contiguous. Unexported: it exists only so the
+	// serialized-image byte-identity regression test can build a tree in
+	// the raw recursion order and compare images. The reorder never changes
+	// the image (see reorderLevelMajor), so there is no reason for callers
+	// to set it.
+	noLevelMajor bool
 }
 
 // SharingMode selects the node-sharing policy, the subject of the sharing
@@ -203,6 +211,13 @@ type Tree struct {
 	stats BuildStats
 	ar    arena // flat SoA lookup structure; see arena.go
 
+	// levelOff[l] is the first node id of level l after the level-major
+	// reorder (levelOff[depth] == len(nodes)); nil when the reorder was
+	// disabled. stageFill[l] counts packets entering level l on the
+	// pipelined batch walk (the per-stage fill profile; see StageFill).
+	levelOff  []int32
+	stageFill []atomic.Uint64
+
 	image     *memlayout.Image
 	rootPtr   uint32
 	nodeAddrs []uint32 // per node: pointer word (channel+offset encoded)
@@ -264,6 +279,10 @@ func NewCtx(ctx context.Context, rs *rules.RuleSet, cfg Config, budget *buildgov
 		t.root = root
 		t.nodes = b.nodes
 	}
+	if !cfg.noLevelMajor {
+		t.reorderLevelMajor()
+	}
+	t.stageFill = make([]atomic.Uint64, t.Depth())
 	t.collectStats()
 	if err := t.buildArena(); err != nil {
 		return nil, err
@@ -465,6 +484,20 @@ func (t *Tree) Image() *memlayout.Image { return t.image }
 
 // Depth returns the explicit tree depth ⌈104/w⌉.
 func (t *Tree) Depth() int { return int((rules.KeyBits + t.cfg.StrideW - 1) / t.cfg.StrideW) }
+
+// StageFill snapshots the cumulative per-stage fill of the pipelined batch
+// walk: element l is the total number of packets that entered level l across
+// all ClassifyBatchPipelined calls since the tree was built. Dividing by
+// element 0 gives the survival profile — how much of each batch is still
+// unresolved at each pipeline stage, the software mirror of per-stage
+// occupancy on a hardware pipeline. Safe to call concurrently with serving.
+func (t *Tree) StageFill() []uint64 {
+	out := make([]uint64, len(t.stageFill))
+	for i := range t.stageFill {
+		out[i] = t.stageFill[i].Load()
+	}
+	return out
+}
 
 func (t *Tree) collectStats() {
 	st := &t.stats

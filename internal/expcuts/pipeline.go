@@ -1,0 +1,246 @@
+package expcuts
+
+import (
+	"math/bits"
+	"sync"
+
+	"repro/internal/rules"
+)
+
+// Software-pipelined level-stage execution over the flat arena.
+//
+// The hardware ExpCuts design maps the tree's fixed ⌈104/w⌉ levels onto
+// explicit pipeline stages with per-stage SRAM banks, so every stage's
+// memory access overlaps every other stage's. The level-synchronous
+// ClassifyBatch already gets part of that — all packets advance through a
+// level together — but each packet's step is a serial chain of dependent
+// loads (CPA pointer → next node's HABS word → next CPA pointer), and the
+// per-packet key-chunk extraction re-runs Key.Bits' bounds checks and
+// straddle switch 13 times per packet.
+//
+// ClassifyBatchPipelined restructures the walk into a two-stage split over
+// interleaved packet groups:
+//
+//	stage A (lookup):   for each packet in the group, extract the level's
+//	                    key chunk from pre-split SoA key words (one shift
+//	                    and mask — for strides dividing 64 a chunk never
+//	                    straddles the hi/lo boundary) and issue the
+//	                    group's independent CPA pointer loads, so `group`
+//	                    arena fetches are in flight at once;
+//	stage B (advance):  consume the pointers and, for every packet that
+//	                    descended, immediately load the *next* level's
+//	                    HABS word and CPA base into the carried per-packet
+//	                    state — while the following group is back in stage
+//	                    A on the current level, and without putting those
+//	                    loads on stage A's critical path.
+//
+// Because the arena is level-major (reorderLevelMajor), the lines stage B
+// touches for level L+1 are contiguous per level, so group g's advance
+// warms exactly the bank group g+1 hits next — the multi-core software
+// analogue of the paper's per-stage SRAM banks and of the level-to-stage
+// mapping in bidirectional pipelined lookup designs.
+//
+// The affine mode additionally counting-sorts the batch by root key chunk
+// before the walk, so each group descends one subtree slice and a shard's
+// working set concentrates on one contiguous region of every level — the
+// analogue of biasing a stage's bank to one microengine's local SRAM. It
+// pays an index indirection per packet-level, worthwhile when the arena
+// is far larger than the cache.
+
+const (
+	// DefaultPipelineGroup is the stage group size used when the caller
+	// passes group <= 0: a whole default engine batch, so stage A issues
+	// one full wave of independent arena loads per level. See
+	// AutoPipelineGroup in internal/engine for the GOMAXPROCS-derived
+	// choice.
+	DefaultPipelineGroup = 64
+	// MaxPipelineGroup caps the stage group size; larger requests are
+	// clamped. Past this the two stages stop interleaving within a batch
+	// and extra group size only grows the carried state.
+	MaxPipelineGroup = 1024
+)
+
+// pipeScratch is the pooled per-call scratch of ClassifyBatchPipelined:
+// SoA key words, the carried per-packet node state (HABS word + CPA base,
+// loaded in stage B of the previous level), and the affine walk order with
+// its counting-sort histogram.
+type pipeScratch struct {
+	keysHi, keysLo []uint64
+	hw             []uint64
+	cb             []uint32
+	ord            []int32
+	cnt            []int32
+}
+
+var pipePool = sync.Pool{New: func() any { return new(pipeScratch) }}
+
+func (sc *pipeScratch) ensure(n int) {
+	if cap(sc.keysHi) < n {
+		sc.keysHi = make([]uint64, n)
+		sc.keysLo = make([]uint64, n)
+		sc.hw = make([]uint64, n)
+		sc.cb = make([]uint32, n)
+		sc.ord = make([]int32, n)
+	}
+}
+
+// release returns the scratch to the pool unless a jumbo batch grew it past
+// the retention cap (see maxPooledBatch in batch.go).
+func (sc *pipeScratch) release() {
+	if cap(sc.keysHi) > maxPooledBatch {
+		*sc = pipeScratch{}
+	}
+	pipePool.Put(sc)
+}
+
+// ClassifyBatchPipelined classifies hs[i] into out[i] with the software-
+// pipelined stage walk described above. group is the stage group size
+// (<= 0 selects DefaultPipelineGroup, values above MaxPipelineGroup are
+// clamped); affine pre-sorts the walk order by root key chunk so each
+// group descends one subtree slice. Answers are identical to Classify and
+// ClassifyBatch for every group size; the steady state performs zero heap
+// allocations.
+func (t *Tree) ClassifyBatchPipelined(hs []rules.Header, out []int, group int, affine bool) {
+	n := len(hs)
+	out = out[:n]
+	if n == 0 {
+		return
+	}
+	if t.root < 0 {
+		m := decodeRef(t.root)
+		for i := range out {
+			out[i] = m
+		}
+		return
+	}
+	if group <= 0 {
+		group = DefaultPipelineGroup
+	}
+	if group > MaxPipelineGroup {
+		group = MaxPipelineGroup
+	}
+
+	sc := pipePool.Get().(*pipeScratch)
+	sc.ensure(n)
+	keysHi, keysLo := sc.keysHi[:n], sc.keysLo[:n]
+	for i, h := range hs {
+		keysHi[i], keysLo[i] = h.Key().Words()
+	}
+
+	w := t.cfg.StrideW
+	u := w - t.cfg.HabsV
+	lowU := uint32(1)<<u - 1
+	mask := uint32(1)<<w - 1
+	habs, cpaBase, cpa := t.ar.habs, t.ar.cpaBase, t.ar.cpa
+	hw, cb := sc.hw[:n], sc.cb[:n]
+
+	rootHabs, rootBase := habs[t.root], cpaBase[t.root]
+	for i := range out {
+		out[i] = int(t.root)
+		hw[i] = rootHabs
+		cb[i] = rootBase
+	}
+	var ord []int32
+	if affine && n > 1 {
+		ord = sc.sortAffine(n, keysHi, w)
+	}
+
+	stage := t.stageFill
+	active := n
+	for pos := uint(0); active > 0 && pos < rules.KeyBits; pos += w {
+		if stage != nil {
+			stage[pos/w].Add(uint64(active))
+		}
+		kw, shift := keysHi, 64-(pos+w)
+		if pos+w > 64 {
+			kw, shift = keysLo, 128-(pos+w)
+		}
+		live := 0
+		for base := 0; base < n; base += group {
+			end := base + group
+			if end > n {
+				end = n
+			}
+			if ord == nil {
+				// Reslicing the group's window of every parallel array
+				// lets the compiler drop the bounds checks inside both
+				// stage waves; with group >= n this is the whole batch in
+				// one wave (the common engine shape — batch size <= group).
+				og := out[base:end]
+				kwv, hwv, cbv := kw[base:end], hw[base:end], cb[base:end]
+				// Stage A: issue the group's CPA pointer loads. Each
+				// iteration is independent, so the fetches overlap.
+				for i, o := range og {
+					if ref(o) < 0 {
+						continue
+					}
+					c := uint32(kwv[i]>>shift) & mask
+					rank := uint32(bits.OnesCount64(hwv[i]&(uint64(2)<<(c>>u)-1))) - 1
+					og[i] = int(cpa[cbv[i]+rank<<u+(c&lowU)])
+				}
+				// Stage B: consume the pointers; survivors pull the next
+				// level's (level-contiguous) HABS word and CPA base off
+				// stage A's critical path.
+				for i, o := range og {
+					if r := ref(o); r >= 0 {
+						hwv[i] = habs[r]
+						cbv[i] = cpaBase[r]
+						live++
+					}
+				}
+			} else {
+				for j := base; j < end; j++ {
+					i := ord[j]
+					if ref(out[i]) < 0 {
+						continue
+					}
+					c := uint32(kw[i]>>shift) & mask
+					rank := uint32(bits.OnesCount64(hw[i]&(uint64(2)<<(c>>u)-1))) - 1
+					out[i] = int(cpa[cb[i]+rank<<u+(c&lowU)])
+				}
+				for j := base; j < end; j++ {
+					i := ord[j]
+					if r := ref(out[i]); r >= 0 {
+						hw[i] = habs[r]
+						cb[i] = cpaBase[r]
+						live++
+					}
+				}
+			}
+		}
+		active = live
+	}
+	for i := range out {
+		out[i] = decodeRef(ref(out[i]))
+	}
+	sc.release()
+}
+
+// sortAffine counting-sorts packet indices 0..n-1 by their root-level key
+// chunk (the top w bits) into sc.ord. Groups cut from the sorted order then
+// share a root child — and, with the level-major arena, one contiguous
+// slice of every deeper level.
+func (sc *pipeScratch) sortAffine(n int, keysHi []uint64, w uint) []int32 {
+	buckets := 1 << w
+	if cap(sc.cnt) < buckets+1 {
+		sc.cnt = make([]int32, buckets+1)
+	}
+	cnt := sc.cnt[:buckets+1]
+	for i := range cnt {
+		cnt[i] = 0
+	}
+	shift := 64 - w
+	for i := 0; i < n; i++ {
+		cnt[(keysHi[i]>>shift)+1]++
+	}
+	for b := 0; b < buckets; b++ {
+		cnt[b+1] += cnt[b]
+	}
+	ord := sc.ord[:n]
+	for i := 0; i < n; i++ {
+		b := keysHi[i] >> shift
+		ord[cnt[b]] = int32(i)
+		cnt[b]++
+	}
+	return ord
+}

@@ -1,0 +1,11 @@
+//go:build race
+
+package expcuts
+
+// raceDetectorEnabled reports whether this test binary was built with
+// -race. The zero-allocation gates skip under the race detector because
+// sync.Pool deliberately drops a random quarter of Puts in race mode
+// (to shake out reuse races), so a pooled-scratch path cannot hold
+// 0 allocs/op there no matter how clean the code is. CI enforces the
+// gates in a non-race pass.
+const raceDetectorEnabled = true

@@ -31,6 +31,13 @@ type Context struct {
 	Seed int64
 	// MatchFraction is the rule-directed share of the traces.
 	MatchFraction float64
+	// PipelineGroup routes the serving experiments through the
+	// software-pipelined stage walk at this group size (0 = level-sync,
+	// engine.PipelineAuto = GOMAXPROCS-derived). The pipeline sweep
+	// ignores it — that experiment sets its own group per cell.
+	PipelineGroup int
+	// PipelineAffine adds the shard-affine counting-sorted walk order.
+	PipelineAffine bool
 }
 
 // DefaultContext matches the settings used for EXPERIMENTS.md.

@@ -349,3 +349,47 @@ func TestServeScalingShape(t *testing.T) {
 		t.Errorf("rendered table missing columns:\n%s", text)
 	}
 }
+
+func TestPipelineShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timed serving runs")
+	}
+	rows, fill, err := Pipeline(light, 0, []int{8, 64}, []int{1, 2}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 { // (sync + 2 groups) x 2 shard counts
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+	for i, r := range rows {
+		if r.MeasuredMpps <= 0 || r.CriticalPathMpps <= 0 {
+			t.Errorf("row %d degenerate: %+v", i, r)
+		}
+		if r.Group == 0 && (r.SpeedupVsSync < 0.99 || r.SpeedupVsSync > 1.01) {
+			t.Errorf("sync row %d must anchor speedup at 1.0: %+v", i, r)
+		}
+		if r.Group > 0 && r.SpeedupVsSync <= 0 {
+			t.Errorf("pipelined row %d missing speedup: %+v", i, r)
+		}
+		if r.Affine {
+			t.Errorf("row %d affine set with affine=false sweep: %+v", i, r)
+		}
+	}
+	if len(fill) == 0 {
+		t.Fatal("no stage-fill histogram from pipelined windows")
+	}
+	if fill[0] < 0.999 || fill[0] > 1.001 {
+		t.Errorf("fill[0] = %.3f, want 1.0", fill[0])
+	}
+	for l := 1; l < len(fill); l++ {
+		if fill[l] > fill[l-1]+1e-9 {
+			t.Errorf("stage fill grew at level %d: %.3f -> %.3f", l, fill[l-1], fill[l])
+		}
+	}
+	text := RenderPipeline(rows, fill, 0)
+	for _, want := range []string{"sync", "Vs sync", "Stage fill", "L0"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("rendered sweep missing %q:\n%s", want, text)
+		}
+	}
+}

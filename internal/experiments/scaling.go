@@ -74,6 +74,8 @@ func ServeScaling(ctx Context, batchSize int, shardCounts []int) ([]ScalingRow, 
 		cfg := engine.DefaultConfig()
 		cfg.BatchSize = batchSize
 		cfg.Shards = shards
+		cfg.PipelineGroup = ctx.PipelineGroup
+		cfg.PipelineAffine = ctx.PipelineAffine
 		var best time.Duration
 		var busiest time.Duration
 		for rep := 0; rep < scalingReps; rep++ {

@@ -89,11 +89,11 @@ func Serve(ctx Context, batchSize int) ([]ServeRow, error) {
 		if err != nil {
 			return nil, fmt.Errorf("serve: building %s: %w", a.name, err)
 		}
-		perPacket, err := engineMpps(cl, hs, 1)
+		perPacket, err := engineMpps(ctx, cl, hs, 1)
 		if err != nil {
 			return nil, fmt.Errorf("serve: %s per-packet run: %w", a.name, err)
 		}
-		batched, err := engineMpps(cl, hs, batchSize)
+		batched, err := engineMpps(ctx, cl, hs, batchSize)
 		if err != nil {
 			return nil, fmt.Errorf("serve: %s batched run: %w", a.name, err)
 		}
@@ -110,10 +110,14 @@ func Serve(ctx Context, batchSize int) ([]ServeRow, error) {
 // engineMpps times serveReps windows of servePasses ordered engine runs
 // over hs at the given batch size and returns the fastest window in
 // Mpkt/s. Each window starts from a forced GC so no window pays the
-// allocation debt of the one before it.
-func engineMpps(cl engine.Classifier, hs []rules.Header, batchSize int) (float64, error) {
+// allocation debt of the one before it. The context's pipeline knobs
+// carry through to the engine, so -pipeline serving comparisons reuse
+// this path.
+func engineMpps(ctx Context, cl engine.Classifier, hs []rules.Header, batchSize int) (float64, error) {
 	cfg := engine.DefaultConfig()
 	cfg.BatchSize = batchSize
+	cfg.PipelineGroup = ctx.PipelineGroup
+	cfg.PipelineAffine = ctx.PipelineAffine
 	var best time.Duration
 	for rep := 0; rep < serveReps; rep++ {
 		runtime.GC()

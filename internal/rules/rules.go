@@ -141,6 +141,13 @@ func (k Key) Bits(start, width uint) uint32 {
 	}
 }
 
+// Words exposes the key's two raw 64-bit words (hi = key bits 0..63,
+// lo = key bits 64..103 left-aligned). Hot batch walks use this to hoist
+// the per-level Bits bounds checks out of their inner loops: for any
+// stride w dividing 64 a w-bit chunk never straddles the word boundary,
+// so a caller can extract chunks with one shift and mask per level.
+func (k Key) Words() (hi, lo uint64) { return k.hi, k.lo }
+
 // Span is a closed interval [Lo, Hi] of field values. All rule fields are
 // represented as spans: a /24 prefix is the span of its 256 addresses, an
 // exact port is a single-point span, and a wildcard spans the full domain.

@@ -50,6 +50,17 @@ type BatchClassifier interface {
 	ClassifyBatch(hs []rules.Header, out []int)
 }
 
+// PipelinedClassifier is the optional software-pipelined batched contract
+// (mirroring engine.PipelinedClassifier, declared locally for the same
+// zero-dependency reason). Generations whose classifier implements it —
+// expcuts trees on the default ladder rung — serve staged walks; the
+// manager's own ClassifyBatchPipelined degrades to the plain batch path
+// on rungs that don't.
+type PipelinedClassifier interface {
+	BatchClassifier
+	ClassifyBatchPipelined(hs []rules.Header, out []int, group int, affine bool)
+}
+
 // Builder constructs a classifier generation from a rule set (e.g. wrap
 // expcuts.New with its Config applied).
 type Builder func(rs *rules.RuleSet) (Classifier, error)
@@ -463,6 +474,30 @@ func (m *Manager) ClassifyBatch(hs []rules.Header, out []int) {
 		// One generation load covers tree and delta alike: the pair was
 		// published together, so the whole batch resolves against one
 		// coherent (tree, delta) snapshot.
+		g.delta.ResolveBatch(hs, out)
+	}
+}
+
+// ClassifyBatchPipelined is ClassifyBatch over the software-pipelined
+// stage walk: the same single generation load brackets the whole batch,
+// the staged walk runs when the live rung supports it, and the delta
+// overlay resolves against the identical (tree, delta) snapshot. Rungs
+// without a pipelined walk (hicuts, hsm, linear fallbacks) serve through
+// their plain batch path — the knob never changes answers, only the walk
+// schedule.
+func (m *Manager) ClassifyBatchPipelined(hs []rules.Header, out []int, group int, affine bool) {
+	g := m.live.Load()
+	out = out[:len(hs)]
+	if pc, ok := g.cl.(PipelinedClassifier); ok {
+		pc.ClassifyBatchPipelined(hs, out, group, affine)
+	} else if bc, ok := g.cl.(BatchClassifier); ok {
+		bc.ClassifyBatch(hs, out)
+	} else {
+		for i, h := range hs {
+			out[i] = g.cl.Classify(h)
+		}
+	}
+	if g.delta != nil {
 		g.delta.ResolveBatch(hs, out)
 	}
 }
