@@ -15,25 +15,33 @@
 // ratio between them. With -pipeline it carries the software-pipelined
 // walk sweep (BENCH_PR8.json): group size x shard count against the
 // level-synchronous baseline, plus the per-level stage-fill histogram.
-// With -check FILE the tool instead re-measures the
+// With -rulescale it carries the scaling-by-rule-count matrix
+// (BENCH_PR9.json): build time, resident bytes and critical-path Mpps for
+// each algorithm at 1k/10k/100k ACL rules under buildgov.ScaledBudget,
+// with budget-tripped tree builds recorded as zero-throughput rows — plus
+// the headline gate that the learned RQ-RMI rung beats the best tree
+// rung's critical path at the largest size. With -check FILE the tool
+// instead re-measures the
 // rows the file tracks and exits non-zero if anything regressed against
 // FILE beyond -tolerance — the benchstat-style gate CI runs (the
-// isolation ratio and the pipelined-vs-sync speedup are additionally
-// gated by absolute floors).
+// isolation ratio, the pipelined-vs-sync speedup and the rmi-vs-tree
+// lead are additionally gated by absolute floors).
 //
 // Usage:
 //
-//	benchjson [-out BENCH_PR4.json] [-scaling] [-churn] [-tenants] [-pipeline] [-batch 64] [-packets 25000] [-seed 1]
+//	benchjson [-out BENCH_PR4.json] [-scaling] [-churn] [-tenants] [-pipeline] [-rulescale] [-batch 64] [-packets 25000] [-seed 1]
 //	benchjson -check BENCH_PR3.json [-tolerance 0.25]
 //	benchjson -check BENCH_PR6.json [-tolerance 0.25]
 //	benchjson -check BENCH_PR7.json [-tolerance 0.25]
 //	benchjson -check BENCH_PR8.json [-tolerance 0.25]
+//	benchjson -check BENCH_PR9.json [-tolerance 0.25]
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"strings"
@@ -85,6 +93,11 @@ type baseline struct {
 	// StageFill is the per-level live-slot fraction observed during the
 	// pipelined windows, normalized to level 0.
 	StageFill []float64 `json:"stage_fill,omitempty"`
+	// RuleScale is the scaling-by-rule-count matrix (present with
+	// -rulescale): per-algorithm build time, memory and critical-path Mpps
+	// at each ACL preset size, under buildgov.ScaledBudget (BENCH_PR9.json).
+	RuleScale     []ruleScaleRow `json:"rule_scale,omitempty"`
+	RuleScaleNote string         `json:"rule_scale_note,omitempty"`
 }
 
 type row struct {
@@ -141,6 +154,19 @@ type pipelineRow struct {
 	GOMAXPROCS       int     `json:"gomaxprocs"`
 }
 
+type ruleScaleRow struct {
+	Algo             string  `json:"algo"`
+	Rules            int     `json:"rules"`
+	RuleSet          string  `json:"rule_set"`
+	BuildMs          float64 `json:"build_ms"`
+	MemoryBytes      int     `json:"memory_bytes,omitempty"`
+	CriticalPathMpps float64 `json:"critical_path_mpps"`
+	// BuildError marks a budget-tripped build; such rows carry zero
+	// throughput and are the point, not a measurement failure.
+	BuildError string `json:"build_error,omitempty"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
 // pipelineSpeedupFloor is the self-relative gate -check applies when a
 // baseline carries pipeline rows: the best single-shard pipelined
 // group's critical-path Mpps must beat the level-synchronous walk's
@@ -167,6 +193,15 @@ const pipelineHeadlineFloor = 6.44
 // which the -check gate fails: the acceptance criterion is ≤ 10%
 // degradation, checked here with noise slack at 15%.
 const tenantIsolationFloor = 0.85
+
+// rmiLeadFloor is the rmi-vs-best-tree critical-path ratio the rulescale
+// gate requires at the largest measured size. Budget-tripped tree builds
+// score zero Mpps, so the gate normally reads "rmi classifies where the
+// trees cannot be built at all"; should the trees someday fit their
+// scaled budgets at 100k, rmi must still match the best of them. The gate
+// is self-relative (both sides measured in the same invocation) so it
+// holds at 1.0 where the cross-run tolerance needs 25%.
+const rmiLeadFloor = 1.0
 
 // genSamples is how many times baseline generation samples the serve
 // comparison, folding per-algo minima into the written file. The gate is
@@ -271,6 +306,69 @@ func bestSingleShardPipelined(rows []experiments.PipelineRow) float64 {
 	return best
 }
 
+// minRuleScaleRows folds per-cell throughput minima over n RuleScale
+// sweeps (fastest build time is kept — build cost is recorded context,
+// not a gated floor, and the minimum is the stable reading of it).
+// Budget-trip outcomes are deterministic for a fixed budget shape, so the
+// fold only ever combines rows with matching build outcomes.
+func minRuleScaleRows(ctx experiments.Context, sizes []int, algos []string, n int) ([]experiments.RuleScaleRow, error) {
+	var folded []experiments.RuleScaleRow
+	for i := 0; i < n; i++ {
+		rows, err := experiments.RuleScale(ctx, sizes, algos)
+		if err != nil {
+			return nil, err
+		}
+		if folded == nil {
+			folded = rows
+			continue
+		}
+		for j := range folded {
+			if rows[j].CriticalPathMpps < folded[j].CriticalPathMpps {
+				folded[j].CriticalPathMpps = rows[j].CriticalPathMpps
+			}
+			if rows[j].BuildMs < folded[j].BuildMs {
+				folded[j].BuildMs = rows[j].BuildMs
+			}
+		}
+	}
+	return folded, nil
+}
+
+// rmiLead returns rmi's critical-path Mpps at the largest rule count in
+// rows divided by the best tree rung's (expcuts or hsm) at that same
+// size. Budget-tripped builds carry zero Mpps. When no tree rung was
+// measured (or every tree tripped), the divisor is zero and the lead is
+// +Inf — rmi classifying at a scale where no tree exists is the maximal
+// win, which is exactly how the gate should read it.
+func rmiLead(rows []experiments.RuleScaleRow) (lead float64, size int) {
+	for _, r := range rows {
+		if r.Rules > size {
+			size = r.Rules
+		}
+	}
+	var rmiMpps, treeMpps float64
+	for _, r := range rows {
+		if r.Rules != size {
+			continue
+		}
+		switch r.Algo {
+		case "rmi":
+			rmiMpps = r.CriticalPathMpps
+		case "expcuts", "hsm":
+			if r.CriticalPathMpps > treeMpps {
+				treeMpps = r.CriticalPathMpps
+			}
+		}
+	}
+	if treeMpps == 0 {
+		if rmiMpps > 0 {
+			return math.Inf(1), size
+		}
+		return 0, size
+	}
+	return rmiMpps / treeMpps, size
+}
+
 func main() {
 	out := flag.String("out", "BENCH_PR3.json", "output file ('-' for stdout)")
 	batch := flag.Int("batch", engine.DefaultBatchSize, "engine batch size for the batched runs")
@@ -287,6 +385,7 @@ func main() {
 	tenants := flag.Bool("tenants", false, "also measure hostile-tenant isolation (victim Mpps solo vs beside a churning WildcardStorm tenant)")
 	tenantsShards := flag.Int("tenants-shards", 4, "shard count for the tenants rows")
 	pipeline := flag.Bool("pipeline", false, "also sweep the software-pipelined walk (group size x shard count vs the level-sync baseline)")
+	rulescale := flag.Bool("rulescale", false, "also measure the scaling-by-rule-count matrix (1k/10k/100k ACL rules x algorithm under ScaledBudget)")
 	flag.Parse()
 
 	ctx := experiments.DefaultContext()
@@ -316,15 +415,19 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
+		if err := checkRuleScale(*check, ctx, *tolerance); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
 		return
 	}
 
-	// A -pipeline baseline tracks only the pipeline sweep: the serve
-	// comparison is already gated by BENCH_PR3/PR4, and re-recording it
-	// at whatever speed the host happens to run during this generation
+	// A -pipeline or -rulescale baseline tracks only its own sweep: the
+	// serve comparison is already gated by BENCH_PR3/PR4, and re-recording
+	// it at whatever speed the host happens to run during this generation
 	// would just duplicate that gate with a fresher, flakier floor.
 	var rows []experiments.ServeRow
-	if !*pipeline {
+	if !*pipeline && !*rulescale {
 		var err error
 		rows, err = minServeRows(ctx, *batch, genSamples)
 		if err != nil {
@@ -489,6 +592,54 @@ func main() {
 			"with their sync baseline so speedup_vs_sync is noise-cancelled; stage_fill is the " +
 			"fraction of walk slots still live entering each tree level, the software reading of " +
 			"per-microengine bank occupancy"
+	}
+	if *rulescale {
+		b.Benchmark = "serve-rulescale"
+		rows, err := minRuleScaleRows(ctx, nil, nil, genSamples)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		// The written baseline must demonstrate the headline: rmi's
+		// critical path at or above the best tree rung's at the largest
+		// size. One re-measure rules out a host-noise dip before
+		// generation fails.
+		lead, largest := rmiLead(rows)
+		if lead < rmiLeadFloor {
+			fmt.Fprintf(os.Stderr, "benchjson: rmi lead %.2fx at %d rules below the %.2fx floor; re-measuring once to rule out host noise\n",
+				lead, largest, rmiLeadFloor)
+			rows, err = minRuleScaleRows(ctx, nil, nil, genSamples)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson:", err)
+				os.Exit(1)
+			}
+			lead, largest = rmiLead(rows)
+		}
+		if lead < rmiLeadFloor {
+			fmt.Fprintf(os.Stderr, "benchjson: rmi critical path is only %.2fx the best tree rung's at %d rules (floor %.2fx)\n",
+				lead, largest, rmiLeadFloor)
+			os.Exit(1)
+		}
+		fmt.Printf("rulescale headline: rmi vs best tree at %d rules = %s (floor %.2fx)\n",
+			largest, leadString(lead), rmiLeadFloor)
+		for _, r := range rows {
+			b.RuleScale = append(b.RuleScale, ruleScaleRow{
+				Algo:             r.Algo,
+				Rules:            r.Rules,
+				RuleSet:          r.RuleSet,
+				BuildMs:          round2(r.BuildMs),
+				MemoryBytes:      r.MemoryBytes,
+				CriticalPathMpps: round2(r.CriticalPathMpps),
+				BuildError:       r.BuildError,
+				GOMAXPROCS:       runtime.GOMAXPROCS(0),
+			})
+		}
+		b.RuleScaleNote = "each cell builds its algorithm on the deterministic ACL preset of that size " +
+			"under buildgov.ScaledBudget(rules) and measures packets / busiest shard's classify time " +
+			"on one shard; rows with build_error are budget-tripped tree builds kept at zero Mpps — " +
+			"the decision trees super-linear in rule overlap cannot be built inside a sane resource " +
+			"envelope at 10k+ ACL rules, which is the learned-index rung's reason to exist; the gate " +
+			"requires rmi >= the best tree rung at the largest size"
 	}
 	if *overheadTol >= 0 {
 		over, err := experiments.MetricsOverhead(ctx, *batch, *overheadShards)
@@ -925,6 +1076,139 @@ func checkPipeline(path string, ctx experiments.Context, batch int, tol float64)
 	}
 	return fmt.Errorf("software-pipelined walk regressed vs %s on all %d attempts:\n  %s",
 		path, checkAttempts, strings.Join(failures, "\n  "))
+}
+
+// checkRuleScale re-measures the scaling-by-rule-count matrix when the
+// baseline carries rule_scale rows. Two gates, as for pipeline: each
+// built row's critical-path Mpps must stay within tol of the baseline
+// (one-sided, max-folded across attempts), and rmi must keep its
+// rmiLeadFloor lead over the best tree rung at the largest size — the
+// lead is self-relative within each attempt, so it holds regardless of
+// how the host compares to baseline day. A baseline build_error row is a
+// determinism check rather than a throughput one: the same budget shape
+// must still trip the same build (a tree that suddenly builds at 100k
+// means the budget or the generator changed, which deserves a fresh
+// baseline, not a silent pass). Files without rule_scale rows skip the
+// gate.
+func checkRuleScale(path string, ctx experiments.Context, tol float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parsing %s: %w", path, err)
+	}
+	if len(base.RuleScale) == 0 {
+		return nil
+	}
+	if base.Packets != 0 {
+		ctx.Packets = base.Packets
+	}
+	if base.RuleSetSeed != 0 {
+		ctx.Seed = base.RuleSetSeed
+	}
+	// Re-measure the exact cells the baseline tracks.
+	var sizes []int
+	var algos []string
+	seenSize := map[int]bool{}
+	seenAlgo := map[string]bool{}
+	for _, r := range base.RuleScale {
+		if !seenSize[r.Rules] {
+			seenSize[r.Rules] = true
+			sizes = append(sizes, r.Rules)
+		}
+		if !seenAlgo[r.Algo] {
+			seenAlgo[r.Algo] = true
+			algos = append(algos, r.Algo)
+		}
+	}
+	type cell struct {
+		algo  string
+		rules int
+	}
+	bestMpps := map[cell]float64{}
+	tripped := map[cell]bool{}
+	var bestLead float64
+	var leadSize int
+	var failures []string
+	for attempt := 0; attempt < checkAttempts; attempt++ {
+		rows, err := experiments.RuleScale(ctx, sizes, algos)
+		if err != nil {
+			return err
+		}
+		for _, got := range rows {
+			c := cell{got.Algo, got.Rules}
+			if got.CriticalPathMpps > bestMpps[c] {
+				bestMpps[c] = got.CriticalPathMpps
+			}
+			tripped[c] = got.BuildError != ""
+		}
+		if lead, size := rmiLead(rows); lead > bestLead {
+			bestLead, leadSize = lead, size
+		}
+		failures = failures[:0]
+		for _, want := range base.RuleScale {
+			c := cell{want.Algo, want.Rules}
+			if want.BuildError != "" {
+				outcome := "budget trip"
+				if !tripped[c] {
+					outcome = "BUILT — baseline expects a trip"
+					failures = append(failures,
+						fmt.Sprintf("%s at %d rules built under a budget the baseline records as tripping: "+
+							"ScaledBudget or the ACL generator changed; regenerate %s",
+							want.Algo, want.Rules, path))
+				}
+				fmt.Printf("rulescale/%-7s %7d rules: %s\n", want.Algo, want.Rules, outcome)
+				continue
+			}
+			got := bestMpps[c]
+			if tripped[c] {
+				failures = append(failures,
+					fmt.Sprintf("%s at %d rules tripped its budget where the baseline built it", want.Algo, want.Rules))
+				continue
+			}
+			if want.CriticalPathMpps == 0 {
+				continue
+			}
+			ratio := got / want.CriticalPathMpps
+			fmt.Printf("rulescale/%-7s %7d rules: %.2f Mpps vs baseline %.2f (%.0f%%)\n",
+				want.Algo, want.Rules, got, want.CriticalPathMpps, ratio*100)
+			if ratio < 1-tol {
+				failures = append(failures,
+					fmt.Sprintf("%s at %d rules %.2f Mpps < %.2f baseline - %.0f%% tolerance",
+						want.Algo, want.Rules, got, want.CriticalPathMpps, tol*100))
+			}
+		}
+		fmt.Printf("rulescale rmi vs best tree at %d rules: %s (floor %.2fx)\n",
+			leadSize, leadString(bestLead), rmiLeadFloor)
+		if bestLead < rmiLeadFloor {
+			failures = append(failures,
+				fmt.Sprintf("rmi critical path is only %.2fx the best tree rung's at %d rules (floor %.2fx): "+
+					"the learned rung stopped paying for itself at scale",
+					bestLead, leadSize, rmiLeadFloor))
+		}
+		if len(failures) == 0 {
+			fmt.Printf("ok: rulescale rows within %.0f%% of %s and rmi lead above %.2fx\n",
+				tol*100, path, rmiLeadFloor)
+			return nil
+		}
+		if attempt < checkAttempts-1 {
+			fmt.Printf("rulescale gate under baseline; re-measuring to rule out host noise (attempt %d/%d)\n",
+				attempt+2, checkAttempts)
+		}
+	}
+	return fmt.Errorf("rule-count scaling regressed vs %s on all %d attempts:\n  %s",
+		path, checkAttempts, strings.Join(failures, "\n  "))
+}
+
+// leadString renders the rmi lead, where +Inf means every tree rung
+// tripped its budget at that size.
+func leadString(lead float64) string {
+	if math.IsInf(lead, 1) {
+		return "inf (no tree built)"
+	}
+	return fmt.Sprintf("%.2fx", lead)
 }
 
 // cpuModel best-effort reads the host CPU model so baselines from

@@ -8,7 +8,7 @@
 //
 // Experiments: fig6 fig7 fig8 fig9 tab2 tab4 tab5
 // stride habs popcount binth sharing extended ladder serve scaling
-// pipeline obs churn tenants all
+// pipeline obs churn tenants rulescale all
 //
 // The ladder experiment walks every rule set (standard + pathological)
 // through the degradation ladder given by -ladder under the build budget
@@ -29,7 +29,11 @@
 // The tenants experiment measures hostile-tenant isolation: a victim
 // tenant's Mpps solo versus co-resident with a WildcardStorm tenant
 // churning its own delta layer (-tenants-shards sets the shard count;
-// the BENCH_PR7.json rows). The pipeline experiment sweeps the
+// the BENCH_PR7.json rows). The rulescale experiment measures build
+// time, memory and critical-path Mpps per algorithm on the deterministic
+// ACL presets across -rulescale-sizes rule counts, each build under
+// buildgov.ScaledBudget — budget-tripped tree builds print as zero-Mpps
+// rows (the BENCH_PR9.json matrix). The pipeline experiment sweeps the
 // software-pipelined stage walk across -groups group sizes and
 // -pipeline-shards shard counts against the level-synchronous baseline
 // (the BENCH_PR8.json rows); -pipeline with -group additionally routes
@@ -55,7 +59,7 @@ import (
 
 func main() {
 	var (
-		which    = flag.String("experiment", "all", "comma-separated experiment list (fig6 fig7 fig8 fig9 tab2 tab4 tab5 stride habs popcount binth sharing extended ladder serve scaling pipeline obs churn tenants all)")
+		which    = flag.String("experiment", "all", "comma-separated experiment list (fig6 fig7 fig8 fig9 tab2 tab4 tab5 stride habs popcount binth sharing extended ladder serve scaling pipeline obs churn tenants rulescale all)")
 		packets  = flag.Int("packets", 25000, "packets per simulation")
 		traceLen = flag.Int("trace", 2000, "distinct headers per trace")
 		seed     = flag.Int64("seed", 1, "trace seed")
@@ -75,6 +79,8 @@ func main() {
 		obsShards     = flag.Int("obs-shards", 4, "obs: shard count for the sharded overhead row")
 		churnShards   = flag.Int("churn-shards", 4, "churn: shard count for the live-update run")
 		tenantsShards = flag.Int("tenants-shards", 4, "tenants: shard count for the isolation run")
+		scaleSizes    = flag.String("rulescale-sizes", "1000,10000,100000", "rulescale: comma-separated ACL rule counts")
+		scaleAlgos    = flag.String("rulescale-algos", "expcuts,hsm,linear,rmi", "rulescale: comma-separated algorithms")
 		cpuProfile    = flag.String("cpuprofile", "", "write a CPU profile covering the selected experiments")
 		memProfile    = flag.String("memprofile", "", "write a heap profile after the selected experiments")
 
@@ -253,6 +259,21 @@ func main() {
 				return "", err
 			}
 			return experiments.RenderTenants(rows, *batch, *tenantsShards), nil
+		}},
+		{"rulescale", func() (string, error) {
+			sizes, err := parseIntList(*scaleSizes, "rule count")
+			if err != nil {
+				return "", err
+			}
+			algos := strings.Split(*scaleAlgos, ",")
+			for i := range algos {
+				algos[i] = strings.TrimSpace(algos[i])
+			}
+			rows, err := experiments.RuleScale(ctx, sizes, algos)
+			if err != nil {
+				return "", err
+			}
+			return experiments.RenderRuleScale(rows), nil
 		}},
 	}
 

@@ -52,6 +52,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/pktgen"
 	"repro/internal/rfc"
+	"repro/internal/rmi"
 	"repro/internal/rulegen"
 	"repro/internal/rules"
 	"repro/internal/tenant"
@@ -84,7 +85,7 @@ func main() {
 		traceFile = flag.String("trace", "", "trace file from pcgen")
 		gen       = flag.Int("gen", 0, "generate a trace of this length instead of -trace")
 		seed      = flag.Int64("seed", 1, "generated-trace seed")
-		algo      = flag.String("algo", "expcuts", "expcuts, hicuts, hypercuts, hsm, rfc, linear")
+		algo      = flag.String("algo", "expcuts", "expcuts, hicuts, hypercuts, hsm, rfc, rmi, linear")
 		verify    = flag.Bool("verify", false, "cross-check every result against linear search")
 		workers   = flag.Int("workers", 0, "classify through the parallel engine with this many workers (0 = sequential)")
 		shards    = flag.Int("shards", 0, "engine: flow-affinity serving shards (0 = GOMAXPROCS when the engine runs; implies the engine)")
@@ -497,10 +498,12 @@ func build(algo string, rs *rules.RuleSet, budget *buildgov.Budget, buildWorkers
 		return hsm.NewCtx(ctx, rs, hsm.Config{}, budget)
 	case "rfc":
 		return rfc.NewCtx(ctx, rs, rfc.Config{}, budget)
+	case "rmi":
+		return rmi.NewCtx(ctx, rs, rmi.Config{}, budget)
 	case "linear":
 		return linear.New(rs), nil
 	}
-	return nil, fmt.Errorf("unknown algorithm %q (expcuts, hicuts, hypercuts, hsm, rfc, linear)", algo)
+	return nil, fmt.Errorf("unknown algorithm %q (expcuts, hicuts, hypercuts, hsm, rfc, rmi, linear)", algo)
 }
 
 // laddered adapts an update.Manager to the local classifier interface

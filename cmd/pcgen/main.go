@@ -4,10 +4,19 @@
 //
 //	pcgen -ruleset CR04 -out cr04.rules
 //	pcgen -kind firewall -size 500 -seed 42 -out fw.rules
+//	pcgen -kind acl -size 100000 -out acl100k.rules
+//	pcgen -ruleset ACL1_1M -out acl1m.rules
 //	pcgen -ruleset FW01 -trace 10000 -traceseed 7 -out fw01.trace
 //
 // Rule sets use the ClassBench-style text format (see internal/rules);
 // traces are one 5-tuple per line: srcIP dstIP srcPort dstPort proto.
+//
+// Production-scale presets: -ruleset also accepts ACL1_1K, ACL1_10K,
+// ACL1_100K and ACL1_1M — byte-deterministic ClassBench-style ACL sets of
+// exactly 1k/10k/100k/1M rules (the large-set experiments' inputs). Rules
+// are streamed to the output as they are generated, so emitting the 1M
+// set needs memory for one rule, not a million; -kind acl with an
+// arbitrary -size streams the same family at any size.
 package main
 
 import (
@@ -15,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/pktgen"
 	"repro/internal/rulegen"
@@ -23,8 +33,8 @@ import (
 
 func main() {
 	var (
-		standard  = flag.String("ruleset", "", "standard set name (FW01..CR04); overrides -kind/-size")
-		kind      = flag.String("kind", "firewall", "synthetic family: firewall, core-router, random")
+		standard  = flag.String("ruleset", "", "named set: FW01..CR04 or a large preset (ACL1_1K, ACL1_10K, ACL1_100K, ACL1_1M); overrides -kind/-size")
+		kind      = flag.String("kind", "firewall", "synthetic family: firewall, core-router, random, acl")
 		size      = flag.Int("size", 100, "rules to generate")
 		seed      = flag.Int64("seed", 1, "rule generation seed")
 		traceLen  = flag.Int("trace", 0, "if > 0, emit a packet trace of this length instead of rules")
@@ -34,7 +44,7 @@ func main() {
 	)
 	flag.Parse()
 
-	rs, err := loadSet(*standard, *kind, *size, *seed)
+	cfg, err := resolveConfig(*standard, *kind, *size, *seed)
 	if err != nil {
 		fatal(err)
 	}
@@ -54,6 +64,12 @@ func main() {
 	}
 
 	if *traceLen > 0 {
+		// A trace needs the whole set resident anyway (pktgen samples
+		// rules at random), so the streaming path does not apply here.
+		rs, err := rulegen.Generate(cfg)
+		if err != nil {
+			fatal(err)
+		}
 		tr, err := pktgen.Generate(rs, pktgen.Config{Count: *traceLen, Seed: *traceSeed, MatchFraction: *match})
 		if err != nil {
 			fatal(err)
@@ -70,14 +86,35 @@ func main() {
 		}
 		return
 	}
-	if err := rs.Write(w); err != nil {
+
+	// Stream rules to the writer as they are generated — same bytes as
+	// rules.RuleSet.Write on the materialized set (header line, then one
+	// rule per line), without holding the set in memory.
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# rule set %s (%d rules)\n", cfg.Name, cfg.Size); err != nil {
+		fatal(err)
+	}
+	if err := rulegen.Stream(cfg, func(r rules.Rule) error {
+		_, err := fmt.Fprintln(bw, r.String())
+		return err
+	}); err != nil {
+		fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
 		fatal(err)
 	}
 }
 
-func loadSet(standard, kind string, size int, seed int64) (*rules.RuleSet, error) {
+// resolveConfig turns the flags into a generation config without building
+// anything, so the rules path can stream.
+func resolveConfig(standard, kind string, size int, seed int64) (rulegen.Config, error) {
 	if standard != "" {
-		return rulegen.Standard(standard)
+		c, ok := rulegen.StandardConfig(standard)
+		if !ok {
+			return rulegen.Config{}, fmt.Errorf("unknown rule set %q (have %s and large presets %s)",
+				standard, strings.Join(rulegen.StandardNames(), ", "), strings.Join(rulegen.LargeNames(), ", "))
+		}
+		return c, nil
 	}
 	var k rulegen.Kind
 	switch kind {
@@ -87,10 +124,14 @@ func loadSet(standard, kind string, size int, seed int64) (*rules.RuleSet, error
 		k = rulegen.CoreRouter
 	case "random":
 		k = rulegen.Random
+	case "acl":
+		k = rulegen.ACL
 	default:
-		return nil, fmt.Errorf("unknown kind %q (firewall, core-router, random)", kind)
+		return rulegen.Config{}, fmt.Errorf("unknown kind %q (firewall, core-router, random, acl)", kind)
 	}
-	return rulegen.Generate(rulegen.Config{Kind: k, Size: size, Seed: seed})
+	// Mirror Generate's default naming so streamed output is byte-identical
+	// to writing the materialized set.
+	return rulegen.Config{Kind: k, Size: size, Seed: seed, Name: fmt.Sprintf("%s-%d", k, size)}, nil
 }
 
 func fatal(err error) {

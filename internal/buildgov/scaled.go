@@ -1,0 +1,48 @@
+package buildgov
+
+import "time"
+
+// ScaledBudget returns a build budget calibrated to the rule count — the
+// per-rung budget the large-set experiments and the large-set-smoke CI job
+// hand every ladder rung. The paper-scale sets (≤2k rules) used hand-picked
+// budgets; at 100k–1M the limits must grow with the input or every build
+// trips immediately, yet stay tight enough that a decision-tree blowup
+// (super-linear in rule overlap) trips the governor while the process is
+// still healthy rather than after the allocator has already paged the
+// machine.
+//
+// The shape, calibrated against ACL-family builds at 10k/100k (see
+// TestEstimateAccuracyAtScale):
+//
+//   - Timeout: 2s base + 50ms per 1k rules, capped at 60s. Linear in the
+//     input like every well-behaved build; a tree that needs more than
+//     this is blowing up, not finishing.
+//   - MaxHeapBytes: 4 KiB per rule, floored at 64 MiB (small sets get
+//     slack for fixed overheads) and capped at 512 MiB (no rule count
+//     justifies an unbounded resident build on a shared box).
+//   - MaxNodes: 8 per rule + 64Ki. Balanced trees stay well under one
+//     node per rule; 8× is deep into blowup territory.
+//   - MaxMemoEntries: 4 per rule + 64Ki, same rationale.
+func ScaledBudget(ruleCount int) *Budget {
+	n := int64(ruleCount)
+	if n < 0 {
+		n = 0
+	}
+	timeout := 2*time.Second + time.Duration(n/1000)*50*time.Millisecond
+	if timeout > 60*time.Second {
+		timeout = 60 * time.Second
+	}
+	heap := n * 4096
+	if heap < 64<<20 {
+		heap = 64 << 20
+	}
+	if heap > 512<<20 {
+		heap = 512 << 20
+	}
+	return &Budget{
+		Timeout:        timeout,
+		MaxNodes:       int(8*n) + 65536,
+		MaxHeapBytes:   heap,
+		MaxMemoEntries: int(4*n) + 65536,
+	}
+}

@@ -154,7 +154,7 @@ func (t *Tree) buildParallel(gov *buildgov.Governor, count *atomic.Int64, all []
 		return 0, fmt.Errorf("expcuts: node budget %d exhausted (rule set %q, w=%d, sharing %v)",
 			t.cfg.MaxNodes, t.rs.Name, w, t.cfg.Sharing)
 	}
-	if err := gov.Nodes(1, int64(cells)*4+nodeOverheadBytes); err != nil {
+	if err := gov.Nodes(1, int64(cells)*8+nodeOverheadBytes); err != nil {
 		return 0, err
 	}
 	id := ref(len(t.nodes))

@@ -1,0 +1,315 @@
+package rmi
+
+import (
+	"math"
+	"unsafe"
+)
+
+// rqModel is a two-stage recursive model index (RMI) over a strictly
+// increasing key array: stage 0 is one linear model routing a key to a
+// stage-1 submodel; each submodel is a linear fit predicting the key's
+// position. The model is range-query safe ("RQ-RMI", NuevoMatch §4): after
+// fitting, verify() computes — exactly, not probabilistically — the
+// maximum discrepancy per submodel between the rounded prediction and the
+// true predecessor position over the *entire* uint32 input domain, so a
+// lookup that scans the window [pos−err, pos+err] can never miss.
+//
+// The exactness argument: truePos(v) = (#keys ≤ v) − 1 is a step function
+// constant on segments [key_i, key_{i+1}); the active submodel is constant
+// on bucket intervals (stage 0 is monotone because a0 ≥ 0 by
+// construction, and float multiplication by a non-negative constant,
+// addition, truncation and clamping are all monotone); and within one
+// (segment ∩ bucket) region the rounded prediction is a monotone image of
+// a linear function, so its extremes sit on the region endpoints. verify()
+// therefore evaluates the discrepancy only at region endpoints — every
+// key, every key−1, every bucket-start boundary (found by binary search
+// over the same bucket() code the lookup runs, so no float-rounding gap),
+// its predecessor, and the domain maximum — and takes per-bucket maxima.
+// Skewed key distributions (e.g. service-port clusters) can leave one
+// bucket with thousands of keys and a linear fit whose verified error is
+// in the thousands. fitModel then *nests*: such a bucket's submodel is
+// replaced by a whole child rqModel over that bucket's keys, one level
+// deep — the "2–3 stage" shape of NuevoMatch's RQ-RMI. Nesting stays
+// exact: for v at or above the child's first key the child's own verified
+// bounds apply over the entire remaining domain (offset by the bucket's
+// key base); for v below the child's first key the predecessor is the
+// bucket base − 1 *exactly* (every key of an earlier bucket is < v by
+// stage-0 monotonicity), so predict answers with error 0 and no model.
+type rqModel struct {
+	a0, b0 float64    // stage 0: key → approximate [0,1) position
+	first  uint32     // smallest key; below it the predecessor is −1 exactly
+	sub    []submodel // stage 1
+	err    []int32    // verified max |roundPred − truePos| per submodel
+}
+
+// submodel is one stage-1 linear model: position ≈ a·key + b, or — when
+// the linear fit verified badly — a nested stage-2 model over the
+// bucket's keys, predicting positions relative to base. Predictions are
+// clamped to [pLo, pHi], the range the true predecessor position provably
+// lies in for any value routed to this bucket (every key of an earlier
+// bucket is smaller, every key of a later bucket larger — stage-0
+// monotonicity). The clamp is what keeps the verified error small on
+// clumped key distributions: without it, the fit's linear extrapolation
+// across the bucket's empty value range dominates the bound.
+type submodel struct {
+	a, b     float64
+	pLo, pHi int32
+	child    *rqModel
+	base     int32
+}
+
+// eval is the clamped rounded prediction — the single code path both
+// verification and lookups run, so the verified bound is exact by
+// construction. Clamping is monotone, preserving the endpoint-evaluation
+// argument.
+func (s *submodel) eval(v uint32) int {
+	p := int(math.Floor(s.a*float64(v) + s.b + 0.5))
+	if p < int(s.pLo) {
+		p = int(s.pLo)
+	}
+	if p > int(s.pHi) {
+		p = int(s.pHi)
+	}
+	return p
+}
+
+// bucket routes a value to its stage-1 submodel. Monotone nondecreasing in
+// v (see the type comment), which both verify() and the empty-bucket
+// fallback in fitModel rely on.
+func (m *rqModel) bucket(v uint32) int {
+	j := int((m.a0*float64(v) + m.b0) * float64(len(m.sub)))
+	if j < 0 {
+		j = 0
+	}
+	if j >= len(m.sub) {
+		j = len(m.sub) - 1
+	}
+	return j
+}
+
+// predict returns the rounded predicted position of v and the verified
+// error bound of the submodel that produced it. The true predecessor
+// position of v is always within [pos−e, pos+e]; below the first key the
+// answer (−1, 0) is exact.
+func (m *rqModel) predict(v uint32) (pos, e int) {
+	if v < m.first {
+		return -1, 0
+	}
+	j := m.bucket(v)
+	s := &m.sub[j]
+	if s.child != nil {
+		p, ce := s.child.predict(v)
+		return int(s.base) + p, ce
+	}
+	return s.eval(v), int(m.err[j])
+}
+
+// nestErrThreshold is the verified per-submodel error above which a
+// bucket is refit with a nested stage-2 model. A window of ±128 is a
+// couple of cache lines of interval bounds — past that, one more model
+// evaluation is cheaper than the wider secondary search.
+const nestErrThreshold = 128
+
+// fitModel builds and verifies a model over keys (strictly increasing,
+// non-empty) with the given submodel count. domainMax is the largest
+// value a probe can take — the probed dimension's width, not uint32's:
+// verifying a 16-bit port model out to 2^32 would charge the linear
+// extrapolation far past any reachable probe against the error bound.
+func fitModel(keys []uint32, submodels int, domainMax uint32) rqModel {
+	return fitModelDepth(keys, submodels, domainMax, 0)
+}
+
+func fitModelDepth(keys []uint32, submodels int, domainMax uint32, depth int) rqModel {
+	n := len(keys)
+	if submodels < 1 {
+		submodels = 1
+	}
+	m := rqModel{first: keys[0], sub: make([]submodel, submodels), err: make([]int32, submodels)}
+
+	minK, maxK := float64(keys[0]), float64(keys[n-1])
+	if maxK > minK {
+		// Two-point fit through (minK, 0) and (maxK, 1): slope is positive,
+		// which is what keeps bucket() monotone.
+		m.a0 = 1 / (maxK - minK)
+		m.b0 = -minK * m.a0
+	} // else: single distinct key; a0 = b0 = 0 routes everything to sub[0]
+
+	// Stage 1: keys fall into contiguous runs per bucket (bucket() is
+	// monotone in the key). Least-squares fit each run; single-key runs get
+	// a constant; empty buckets get the constant predecessor position of
+	// their whole input range, which is exact (err 0) by monotonicity.
+	runStart := make([]int, submodels+1)
+	start := 0
+	for j := 0; j < submodels; j++ {
+		runStart[j] = start
+		end := start
+		for end < n && m.bucket(keys[end]) == j {
+			end++
+		}
+		switch run := end - start; {
+		case run == 0:
+			m.sub[j] = submodel{a: 0, b: float64(start - 1)}
+		case run == 1:
+			m.sub[j] = submodel{a: 0, b: float64(start)}
+		default:
+			m.sub[j] = fitLeastSquares(keys[start:end], start)
+		}
+		m.sub[j].pLo = int32(start - 1)
+		m.sub[j].pHi = int32(end - 1)
+		start = end
+	}
+	runStart[submodels] = n
+
+	m.verify(keys, domainMax)
+
+	// Stage 2: refit badly-verified buckets with a nested model (one
+	// level only). predict() ignores the stale linear fit and err entry
+	// once child is set; the child carries its own verified bounds.
+	if depth < 1 {
+		for j := 0; j < submodels; j++ {
+			s, e := runStart[j], runStart[j+1]
+			if m.err[j] > nestErrThreshold && e-s >= 2 {
+				child := fitModelDepth(keys[s:e], (e-s-1)/nestFan+1, domainMax, depth+1)
+				m.sub[j] = submodel{child: &child, base: int32(s)}
+			}
+		}
+	}
+	return m
+}
+
+// nestFan is the keys-per-submodel target of nested stage-2 models.
+const nestFan = 64
+
+// maxWindow is the largest verified secondary-search half-width any probe
+// of this model can see.
+func (m *rqModel) maxWindow() int {
+	w := 0
+	for j := range m.sub {
+		if c := m.sub[j].child; c != nil {
+			if cw := c.maxWindow(); cw > w {
+				w = cw
+			}
+		} else if int(m.err[j]) > w {
+			w = int(m.err[j])
+		}
+	}
+	return w
+}
+
+// bytes estimates the model's resident footprint, nested children
+// included.
+func (m *rqModel) bytes() int {
+	const submodelBytes = int(unsafe.Sizeof(submodel{}))
+	b := int(unsafe.Sizeof(rqModel{})) + len(m.sub)*submodelBytes + len(m.err)*4
+	for j := range m.sub {
+		if m.sub[j].child != nil {
+			b += m.sub[j].child.bytes()
+		}
+	}
+	return b
+}
+
+// submodels counts stage-1 and nested stage-2 submodels.
+func (m *rqModel) submodels() int {
+	c := len(m.sub)
+	for j := range m.sub {
+		if m.sub[j].child != nil {
+			c += m.sub[j].child.submodels()
+		}
+	}
+	return c
+}
+
+// fitLeastSquares fits position ≈ a·key + b over keys[i] → base+i.
+// Keys are centered before accumulating to keep the normal equations
+// well-conditioned for tightly clustered uint32 keys.
+func fitLeastSquares(keys []uint32, base int) submodel {
+	n := float64(len(keys))
+	mid := float64(keys[0])/2 + float64(keys[len(keys)-1])/2
+	var sx, sy, sxx, sxy float64
+	for i, k := range keys {
+		x := float64(k) - mid
+		y := float64(base + i)
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	det := n*sxx - sx*sx
+	if det == 0 {
+		return submodel{a: 0, b: sy / n}
+	}
+	a := (n*sxy - sx*sy) / det
+	b := (sy - a*sx) / n
+	// Un-center: a·(v−mid) + b = a·v + (b − a·mid).
+	return submodel{a: a, b: b - a*mid}
+}
+
+// verify fills m.err with the exact per-submodel worst-case discrepancy
+// over probes in [keys[0], domainMax]. See the type comment for why
+// endpoint evaluation is sufficient.
+func (m *rqModel) verify(keys []uint32, domainMax uint32) {
+	n := len(keys)
+	msub := len(m.sub)
+
+	cand := make([]uint64, 0, 2*n+2*msub+1)
+	for _, k := range keys {
+		cand = append(cand, uint64(k))
+		if k > 0 {
+			cand = append(cand, uint64(k)-1)
+		}
+	}
+	// Bucket starts: smallest v with bucket(v) ≥ j, found by binary search
+	// over bucket() itself (monotone). A start of 2^32 means the bucket is
+	// unreachable; its candidates are skipped below.
+	for j := 1; j < msub; j++ {
+		lo, hi := uint64(0), uint64(1)<<32
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if m.bucket(uint32(mid)) >= j {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		cand = append(cand, lo)
+		if lo > 0 {
+			cand = append(cand, lo-1)
+		}
+	}
+	cand = append(cand, uint64(domainMax))
+
+	first := uint64(keys[0])
+	for _, cv := range cand {
+		if cv < first || cv > uint64(domainMax) {
+			// Below the first key predict() answers (−1, 0) exactly
+			// without consulting the fit; above the domain the value is
+			// unreachable.
+			continue
+		}
+		v := uint32(cv)
+		t := predecessor(keys, v)
+		j := m.bucket(v)
+		d := m.sub[j].eval(v) - t
+		if d < 0 {
+			d = -d
+		}
+		if int32(d) > m.err[j] {
+			m.err[j] = int32(d)
+		}
+	}
+}
+
+// predecessor returns the index of the largest key ≤ v, or −1.
+func predecessor(keys []uint32, v uint32) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if keys[mid] <= v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo - 1
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package rmi
+
+// raceEnabled reports whether this test binary was built with -race. The
+// zero-allocation gate skips under the race detector (allocation
+// accounting is instrumented there); CI enforces it in a non-race pass.
+const raceEnabled = true

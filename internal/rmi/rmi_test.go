@@ -1,0 +1,159 @@
+package rmi
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/pktgen"
+	"repro/internal/rulegen"
+	"repro/internal/rules"
+)
+
+func mustIndex(t *testing.T, rs *rules.RuleSet, cfg Config) *Index {
+	t.Helper()
+	x, err := New(rs, cfg)
+	if err != nil {
+		t.Fatalf("New(%s): %v", rs.Name, err)
+	}
+	return x
+}
+
+func oracleCheck(t *testing.T, x *Index, rs *rules.RuleSet, headers []rules.Header) {
+	t.Helper()
+	bad := 0
+	for _, h := range headers {
+		if got, want := x.Classify(h), rs.Match(h); got != want {
+			if bad++; bad <= 5 {
+				t.Errorf("%s: Classify(%v) = %d, oracle %d", rs.Name, h, got, want)
+			}
+		}
+	}
+	if bad > 5 {
+		t.Errorf("%s: %d total mismatches", rs.Name, bad)
+	}
+}
+
+func testHeaders(t *testing.T, rs *rules.RuleSet, n int) []rules.Header {
+	t.Helper()
+	tr, err := pktgen.Generate(rs, pktgen.Config{Count: n, Seed: 77, MatchFraction: 0.85})
+	if err != nil {
+		t.Fatalf("pktgen: %v", err)
+	}
+	return tr.Headers
+}
+
+func TestOracleAcrossFamilies(t *testing.T) {
+	cases := []rulegen.Config{
+		{Kind: rulegen.Firewall, Size: 120, Seed: 401},
+		{Kind: rulegen.CoreRouter, Size: 240, Seed: 402},
+		{Kind: rulegen.Random, Size: 80, Seed: 403},
+		{Kind: rulegen.ACL, Size: 2000, Seed: 404},
+	}
+	for _, gc := range cases {
+		rs, err := rulegen.Generate(gc)
+		if err != nil {
+			t.Fatalf("rulegen: %v", err)
+		}
+		x := mustIndex(t, rs, Config{})
+		oracleCheck(t, x, rs, testHeaders(t, rs, 3000))
+	}
+}
+
+// TestForcedRemainderFallback drives MinISetSize above the rule count so
+// no independent set forms and every rule lands in the remainder — the
+// path taken when a rule set is entirely model-resistant.
+func TestForcedRemainderFallback(t *testing.T) {
+	rs, err := rulegen.Generate(rulegen.Config{Kind: rulegen.CoreRouter, Size: 150, Seed: 405})
+	if err != nil {
+		t.Fatalf("rulegen: %v", err)
+	}
+	x := mustIndex(t, rs, Config{MinISetSize: len(rs.Rules) + 1})
+	if st := x.Stats(); st.NumISets != 0 || st.RemainderRules != len(rs.Rules) || st.RemainderAlgo == "none" {
+		t.Fatalf("expected pure-remainder index, got %+v", st)
+	}
+	oracleCheck(t, x, rs, testHeaders(t, rs, 2000))
+}
+
+// TestISetsAbsorbACL asserts the generator/extractor contract the scaling
+// story rests on: acl1-style sets are mostly disjoint on the destination
+// dimension, so the learned models — not the remainder — must cover the
+// bulk of the rules.
+func TestISetsAbsorbACL(t *testing.T) {
+	rs, err := rulegen.Generate(rulegen.LargeForSize(10000))
+	if err != nil {
+		t.Fatalf("rulegen: %v", err)
+	}
+	x := mustIndex(t, rs, Config{})
+	st := x.Stats()
+	if st.IndexedRules < len(rs.Rules)*6/10 {
+		t.Errorf("independent sets cover %d/%d rules; want ≥60%%: %+v", st.IndexedRules, len(rs.Rules), st)
+	}
+	if st.NumISets == 0 || st.MaxErr < 0 {
+		t.Errorf("degenerate stats: %+v", st)
+	}
+}
+
+// TestModelErrorBound property-tests the RQ-RMI guarantee directly: for
+// random strictly increasing key arrays, the rounded prediction of any
+// probe must land within the verified per-submodel bound of the true
+// predecessor position whenever that position is ≥ 0.
+func TestModelErrorBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(3000)
+		keys := make([]uint32, 0, n)
+		cur := uint64(rng.Intn(1000))
+		for len(keys) < n && cur <= 1<<32-1 {
+			keys = append(keys, uint32(cur))
+			// Mix tiny and huge gaps: clustered keys are the hard case
+			// for a linear fit.
+			if rng.Intn(4) == 0 {
+				cur += uint64(rng.Intn(1 << 24))
+			}
+			cur += uint64(1 + rng.Intn(64))
+		}
+		m := fitModel(keys, (len(keys)-1)/64+1, 1<<32-1)
+		probe := func(v uint32) {
+			tpos := predecessor(keys, v)
+			if tpos < 0 {
+				return
+			}
+			pos, e := m.predict(v)
+			if d := pos - tpos; d > e || -d > e {
+				t.Fatalf("trial %d: v=%d truePos=%d pred=%d err=%d — bound violated", trial, v, tpos, pos, e)
+			}
+		}
+		for _, k := range keys {
+			probe(k)
+			probe(k + 1)
+			if k > 0 {
+				probe(k - 1)
+			}
+		}
+		for i := 0; i < 2000; i++ {
+			probe(rng.Uint32())
+		}
+	}
+}
+
+// TestBatchZeroAlloc pins the batched path at 0 allocs/op; skipped under
+// the race detector, which instruments allocation.
+func TestBatchZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting differs under -race")
+	}
+	rs, err := rulegen.Generate(rulegen.LargeForSize(5000))
+	if err != nil {
+		t.Fatalf("rulegen: %v", err)
+	}
+	x := mustIndex(t, rs, Config{})
+	hs := testHeaders(t, rs, 256)
+	out := make([]int, len(hs))
+	x.ClassifyBatch(hs, out) // warm up
+	allocs := testing.AllocsPerRun(50, func() {
+		x.ClassifyBatch(hs, out)
+	})
+	if allocs != 0 {
+		t.Errorf("ClassifyBatch: %v allocs/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,111 @@
+package rulegen
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"testing"
+
+	"repro/internal/rules"
+)
+
+// goldenLargeHashes pin the byte encoding of the large presets per
+// (kind, size, seed). A failure here means a refactor of the prefix-tree
+// sampler changed benchmark inputs: every tracked BENCH_*.json number and
+// the golden traces become incomparable. Bump deliberately, never silently.
+var goldenLargeHashes = map[string]string{
+	"ACL1_1K":   "8b7f73b42507ff7f4ac4a5cde4729393f965149b9e813f429763a4d7eaeb1558",
+	"ACL1_100K": "8de2eda2f21c6a577e5d2e7a64198c68a8ca98931686a10253666c3a97d7586b",
+}
+
+// hashStreamed streams the preset through the text encoding used by
+// RuleSet.Write and returns the SHA-256 of the concatenated lines.
+func hashStreamed(t *testing.T, cfg Config) string {
+	t.Helper()
+	h := sha256.New()
+	count := 0
+	err := Stream(cfg, func(r rules.Rule) error {
+		fmt.Fprintf(h, "%s\n", r.String())
+		count++
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Stream(%s): %v", cfg.Name, err)
+	}
+	if count != cfg.Size {
+		t.Fatalf("Stream(%s): emitted %d rules, want exactly %d", cfg.Name, count, cfg.Size)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func TestLargeGoldenHashes(t *testing.T) {
+	for name, want := range goldenLargeHashes {
+		cfg, ok := Large(name)
+		if !ok {
+			t.Fatalf("Large(%q): preset missing", name)
+		}
+		if got := hashStreamed(t, cfg); got != want {
+			t.Errorf("%s: generated set hash %s, golden %s — the sampler changed; benchmark inputs are no longer comparable", name, got, want)
+		}
+	}
+}
+
+func TestLargeStreamMatchesGenerate(t *testing.T) {
+	cfg, _ := Large("ACL1_1K")
+	set, err := Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if len(set.Rules) != cfg.Size {
+		t.Fatalf("Generate: %d rules, want %d", len(set.Rules), cfg.Size)
+	}
+	i := 0
+	err = Stream(cfg, func(r rules.Rule) error {
+		if r != set.Rules[i] {
+			return fmt.Errorf("rule %d differs: streamed %v, generated %v", i, r, set.Rules[i])
+		}
+		i++
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Stream diverges from Generate: %v", err)
+	}
+	if i != len(set.Rules) {
+		t.Fatalf("Stream emitted %d rules, Generate %d", i, len(set.Rules))
+	}
+}
+
+func TestLargeValidates(t *testing.T) {
+	for _, name := range []string{"ACL1_1K", "ACL1_10K"} {
+		set, err := Standard(name)
+		if err != nil {
+			t.Fatalf("Standard(%q): %v", name, err)
+		}
+		if err := set.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if len(set.Rules) != mustLarge(t, name).Size {
+			t.Errorf("%s: size %d, want %d", name, len(set.Rules), mustLarge(t, name).Size)
+		}
+	}
+}
+
+func mustLarge(t *testing.T, name string) Config {
+	t.Helper()
+	c, ok := Large(name)
+	if !ok {
+		t.Fatalf("Large(%q) missing", name)
+	}
+	return c
+}
+
+// TestLargeForSize keeps sweep points and presets byte-identical.
+func TestLargeForSize(t *testing.T) {
+	if got := LargeForSize(100000); got.Name != "ACL1_100K" {
+		t.Errorf("LargeForSize(100000) = %+v, want the ACL1_100K preset", got)
+	}
+	derived := LargeForSize(5000)
+	if derived.Size != 5000 || derived.Kind != ACL {
+		t.Errorf("LargeForSize(5000) = %+v", derived)
+	}
+}

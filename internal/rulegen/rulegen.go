@@ -36,6 +36,13 @@ const (
 	// Random generates unstructured uniform rules; used only by property
 	// tests to stress classifiers away from real-life structure.
 	Random
+	// ACL mimics ClassBench acl1-style access lists at production scale
+	// (10k–1M rules): destination prefixes sampled from a skewed prefix
+	// tree with controlled cross-cluster overlap, service clusters on a
+	// shared prefix, and a reused source-prefix pool. The family is the
+	// large-set counterpart of CoreRouter and the workload the learned
+	// range index (internal/rmi) is evaluated on; see large.go.
+	ACL
 )
 
 // String names the kind.
@@ -47,6 +54,8 @@ func (k Kind) String() string {
 		return "core-router"
 	case Random:
 		return "random"
+	case ACL:
+		return "acl"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
@@ -80,6 +89,12 @@ func Generate(cfg Config) (*rules.RuleSet, error) {
 		rs = genCoreRouter(rng, cfg.Size)
 	case Random:
 		rs = genRandom(rng, cfg.Size)
+	case ACL:
+		rs = make([]rules.Rule, 0, cfg.Size)
+		streamACL(rng, cfg.Size, func(r rules.Rule) error {
+			rs = append(rs, r)
+			return nil
+		})
 	default:
 		return nil, fmt.Errorf("rulegen: unknown kind %v", cfg.Kind)
 	}

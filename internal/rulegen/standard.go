@@ -32,14 +32,33 @@ func StandardNames() []string {
 	return names
 }
 
-// Standard generates the named standard rule set (FW01…CR04).
+// StandardConfig resolves a set name — standard (FW01…CR04) or large
+// preset (ACL1_1K…ACL1_1M) — to its generation config without building
+// the set. Callers that stream rules (pcgen at 100k–1M) use this to avoid
+// materializing the whole set before the first byte is written.
+func StandardConfig(name string) (Config, bool) {
+	for _, c := range standardConfigs {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return Large(name)
+}
+
+// Standard generates the named standard rule set (FW01…CR04), or one of
+// the production-scale presets (ACL1_1K…ACL1_1M). The large presets resolve
+// here so every command-line `-ruleset` flag accepts them, but they stay
+// out of StandardSets: the paper-table drivers print exactly seven rows.
 func Standard(name string) (*rules.RuleSet, error) {
 	for _, c := range standardConfigs {
 		if c.Name == name {
 			return Generate(c)
 		}
 	}
-	return nil, fmt.Errorf("rulegen: unknown standard rule set %q (have %v)", name, StandardNames())
+	if c, ok := Large(name); ok {
+		return Generate(c)
+	}
+	return nil, fmt.Errorf("rulegen: unknown standard rule set %q (have %v and large presets %v)", name, StandardNames(), LargeNames())
 }
 
 // StandardSets generates all seven sets in presentation order.

@@ -12,6 +12,7 @@ import (
 	"repro/internal/hypercuts"
 	"repro/internal/linear"
 	"repro/internal/rfc"
+	"repro/internal/rmi"
 	"repro/internal/rules"
 )
 
@@ -37,8 +38,8 @@ func DefaultLadder(budget *buildgov.Budget) []Rung {
 }
 
 // LadderFromNames builds a ladder from algorithm names (expcuts, hicuts,
-// hypercuts, hsm, rfc, linear), all governed by the same budget. It is
-// what the CLIs' -ladder flags parse into.
+// hypercuts, hsm, rfc, rmi, linear), all governed by the same budget. It
+// is what the CLIs' -ladder flags parse into.
 func LadderFromNames(names []string, budget *buildgov.Budget) ([]Rung, error) {
 	if len(names) == 0 {
 		return nil, fmt.Errorf("update: empty ladder")
@@ -78,6 +79,13 @@ func rungFor(name string, budget *buildgov.Budget) (Rung, error) {
 		build = func(ctx context.Context, rs *rules.RuleSet) (Classifier, error) {
 			return rfc.NewCtx(ctx, rs, rfc.Config{}, budget)
 		}
+	case "rmi":
+		// The learned range index (NuevoMatch-style RQ-RMI). Its own
+		// remainder chain reuses the same budget with ladder semantics,
+		// so one budget governs the whole composite build.
+		build = func(ctx context.Context, rs *rules.RuleSet) (Classifier, error) {
+			return rmi.NewCtx(ctx, rs, rmi.Config{}, budget)
+		}
 	case "linear":
 		// The total rung: ungoverned on purpose — linear.New performs
 		// one O(rules) slab allocation and cannot blow up or hang.
@@ -85,7 +93,7 @@ func rungFor(name string, budget *buildgov.Budget) (Rung, error) {
 			return linear.New(rs), nil
 		}
 	default:
-		return Rung{}, fmt.Errorf("update: unknown ladder rung %q (expcuts, hicuts, hypercuts, hsm, rfc, linear)", name)
+		return Rung{}, fmt.Errorf("update: unknown ladder rung %q (expcuts, hicuts, hypercuts, hsm, rfc, rmi, linear)", name)
 	}
 	return Rung{Name: name, Build: build}, nil
 }
