@@ -20,7 +20,12 @@
 // each algorithm at 1k/10k/100k ACL rules under buildgov.ScaledBudget,
 // with budget-tripped tree builds recorded as zero-throughput rows — plus
 // the headline gate that the learned RQ-RMI rung beats the best tree
-// rung's critical path at the largest size. With -check FILE the tool
+// rung's critical path at the largest size. With -iofrontend it carries
+// the packet I/O front-end sweep (BENCH_PR10.json): the in-process
+// loopback UDP serve/load pair, with round-trip latency quantiles, shed
+// rate and loss per target rate, gated generously on rate/latency (the
+// loopback measures syscall cost, not the classifier) and strictly on
+// decode_errors == 0. With -check FILE the tool
 // instead re-measures the
 // rows the file tracks and exits non-zero if anything regressed against
 // FILE beyond -tolerance — the benchstat-style gate CI runs (the
@@ -29,7 +34,7 @@
 //
 // Usage:
 //
-//	benchjson [-out BENCH_PR4.json] [-scaling] [-churn] [-tenants] [-pipeline] [-rulescale] [-batch 64] [-packets 25000] [-seed 1]
+//	benchjson [-out BENCH_PR4.json] [-scaling] [-churn] [-tenants] [-pipeline] [-rulescale] [-iofrontend] [-batch 64] [-packets 25000] [-seed 1]
 //	benchjson -check BENCH_PR3.json [-tolerance 0.25]
 //	benchjson -check BENCH_PR6.json [-tolerance 0.25]
 //	benchjson -check BENCH_PR7.json [-tolerance 0.25]
@@ -49,6 +54,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/rulegen"
 )
 
 // baseline is the file format: enough run metadata to interpret the rows
@@ -98,6 +104,12 @@ type baseline struct {
 	// at each ACL preset size, under buildgov.ScaledBudget (BENCH_PR9.json).
 	RuleScale     []ruleScaleRow `json:"rule_scale,omitempty"`
 	RuleScaleNote string         `json:"rule_scale_note,omitempty"`
+	// IOFrontend is the packet I/O front-end latency sweep (present with
+	// -iofrontend): the in-process loopback UDP serve/load pair, one row
+	// per target rate, carrying round-trip latency quantiles and shed/loss
+	// accounting (BENCH_PR10.json).
+	IOFrontend     []ioFrontendRow `json:"iofrontend,omitempty"`
+	IOFrontendNote string          `json:"iofrontend_note,omitempty"`
 }
 
 type row struct {
@@ -152,6 +164,21 @@ type pipelineRow struct {
 	CriticalPathMpps float64 `json:"critical_path_mpps"`
 	SpeedupVsSync    float64 `json:"speedup_vs_sync"`
 	GOMAXPROCS       int     `json:"gomaxprocs"`
+}
+
+type ioFrontendRow struct {
+	RatePPS      int     `json:"rate_pps"` // 0 = unpaced
+	Sent         int     `json:"sent"`
+	Replies      int     `json:"replies"`
+	Lost         int     `json:"lost"`
+	DecodeErrors int     `json:"decode_errors"`
+	AchievedPPS  float64 `json:"achieved_pps"`
+	ShedRate     float64 `json:"shed_rate"`
+	P50Us        float64 `json:"p50_us"`
+	P99Us        float64 `json:"p99_us"`
+	P999Us       float64 `json:"p999_us"`
+	MeanUs       float64 `json:"mean_us"`
+	GOMAXPROCS   int     `json:"gomaxprocs"`
 }
 
 type ruleScaleRow struct {
@@ -217,6 +244,82 @@ const genSamples = 3
 // and a real regression fails every attempt while a noise dip does not.
 // The per-row maximum across attempts is what is compared.
 const checkAttempts = 3
+
+// ioFrontendPPSTol and ioFrontendLatTol are the front-end gate's
+// tolerances, deliberately far looser than the shared throughput
+// tolerance: loopback round trips are dominated by per-syscall and
+// timer-wake cost, which is a property of the host (under sandboxed
+// kernels, two orders of magnitude above bare metal — and observed to
+// swing more than 2x between runs minutes apart on the same box), not of
+// the classification path. The gate exists to catch the front end
+// getting structurally slower — a batching regression, a per-packet
+// allocation, a lost flush — which shows up as order-of-magnitude
+// multiples, not percents. Achieved rate may halve and latency
+// quantiles may grow 9x (one decimal order) before the gate trips.
+// Decode errors are the exception: well-formed pktgen traffic must
+// decode exactly, so any nonzero count fails regardless of tolerance.
+const (
+	ioFrontendPPSTol = 0.5
+	ioFrontendLatTol = 9.0
+)
+
+// foldIOFrontendRows runs the loopback sweep n times and folds the
+// conservative reading of each rate point: the minimum achieved rate and
+// the maximum latency quantiles — what the host does RELIABLY on both
+// axes, since the check gate is one-sided in opposite directions for the
+// two. The first sample runs the adaptive sweep (unpaced capacity, then
+// half of it); its rates are pinned for the rest, so every sample's rows
+// fold against the same targets. Any sample with decode errors fails
+// generation outright.
+func foldIOFrontendRows(ctx experiments.Context, n int) ([]experiments.IOFrontendRow, error) {
+	var folded []experiments.IOFrontendRow
+	var rates []int
+	for i := 0; i < n; i++ {
+		rows, err := experiments.IOFrontend(ctx, rates)
+		if err != nil {
+			return nil, err
+		}
+		if rates == nil {
+			for _, r := range rows {
+				rates = append(rates, r.RatePPS)
+			}
+		}
+		for _, r := range rows {
+			if r.DecodeErrors > 0 {
+				return nil, fmt.Errorf("iofrontend: %d decode errors at rate %d: well-formed traffic must decode exactly",
+					r.DecodeErrors, r.RatePPS)
+			}
+		}
+		if folded == nil {
+			folded = rows
+			continue
+		}
+		for j := range folded {
+			if rows[j].AchievedPPS < folded[j].AchievedPPS {
+				folded[j].AchievedPPS = rows[j].AchievedPPS
+			}
+			if rows[j].ShedRate > folded[j].ShedRate {
+				folded[j].ShedRate = rows[j].ShedRate
+			}
+			if rows[j].Lost > folded[j].Lost {
+				folded[j].Lost = rows[j].Lost
+			}
+			if rows[j].P50Us > folded[j].P50Us {
+				folded[j].P50Us = rows[j].P50Us
+			}
+			if rows[j].P99Us > folded[j].P99Us {
+				folded[j].P99Us = rows[j].P99Us
+			}
+			if rows[j].P999Us > folded[j].P999Us {
+				folded[j].P999Us = rows[j].P999Us
+			}
+			if rows[j].MeanUs > folded[j].MeanUs {
+				folded[j].MeanUs = rows[j].MeanUs
+			}
+		}
+	}
+	return folded, nil
+}
 
 // minServeRows folds per-algorithm minima over n Serve invocations.
 func minServeRows(ctx experiments.Context, batch, n int) ([]experiments.ServeRow, error) {
@@ -386,6 +489,7 @@ func main() {
 	tenantsShards := flag.Int("tenants-shards", 4, "shard count for the tenants rows")
 	pipeline := flag.Bool("pipeline", false, "also sweep the software-pipelined walk (group size x shard count vs the level-sync baseline)")
 	rulescale := flag.Bool("rulescale", false, "also measure the scaling-by-rule-count matrix (1k/10k/100k ACL rules x algorithm under ScaledBudget)")
+	iofrontend := flag.Bool("iofrontend", false, "also measure the loopback UDP serve/load round-trip latency sweep")
 	flag.Parse()
 
 	ctx := experiments.DefaultContext()
@@ -419,15 +523,20 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
+		if err := checkIOFrontend(*check, ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
 		return
 	}
 
-	// A -pipeline or -rulescale baseline tracks only its own sweep: the
-	// serve comparison is already gated by BENCH_PR3/PR4, and re-recording
-	// it at whatever speed the host happens to run during this generation
-	// would just duplicate that gate with a fresher, flakier floor.
+	// A -pipeline, -rulescale or -iofrontend baseline tracks only its own
+	// sweep: the serve comparison is already gated by BENCH_PR3/PR4, and
+	// re-recording it at whatever speed the host happens to run during
+	// this generation would just duplicate that gate with a fresher,
+	// flakier floor.
 	var rows []experiments.ServeRow
-	if !*pipeline && !*rulescale {
+	if !*pipeline && !*rulescale && !*iofrontend {
 		var err error
 		rows, err = minServeRows(ctx, *batch, genSamples)
 		if err != nil {
@@ -640,6 +749,41 @@ func main() {
 			"the decision trees super-linear in rule overlap cannot be built inside a sane resource " +
 			"envelope at 10k+ ACL rules, which is the learned-index rung's reason to exist; the gate " +
 			"requires rmi >= the best tree rung at the largest size"
+	}
+	if *iofrontend {
+		b.Benchmark = "serve-iofrontend"
+		b.RuleSet = "CR04"
+		if rs, err := rulegen.Standard("CR04"); err == nil {
+			b.Rules = rs.Len()
+		}
+		rows, err := foldIOFrontendRows(ctx, genSamples)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		for _, r := range rows {
+			b.IOFrontend = append(b.IOFrontend, ioFrontendRow{
+				RatePPS:      r.RatePPS,
+				Sent:         r.Sent,
+				Replies:      r.Replies,
+				Lost:         r.Lost,
+				DecodeErrors: r.DecodeErrors,
+				AchievedPPS:  round2(r.AchievedPPS),
+				ShedRate:     round2(r.ShedRate),
+				P50Us:        round2(r.P50Us),
+				P99Us:        round2(r.P99Us),
+				P999Us:       round2(r.P999Us),
+				MeanUs:       round2(r.MeanUs),
+				GOMAXPROCS:   runtime.GOMAXPROCS(0),
+			})
+		}
+		b.IOFrontendNote = "in-process loopback UDP serve/load pair on CR04 ExpCuts: each row sends " +
+			"rule-directed pktgen traffic at rate_pps (0 = unpaced) through the full receive path — " +
+			"datagram in, segment assembly, wire decode, sharded streaming engine, verdict echo — and " +
+			"folds round-trip latency into a log-linear histogram; quantiles are the max and " +
+			"achieved_pps the min over the generation samples (the conservative reading on each axis); " +
+			"absolute numbers are dominated by the host's per-syscall cost, so the check gate is " +
+			"generous on rate and latency and strict only on decode_errors == 0"
 	}
 	if *overheadTol >= 0 {
 		over, err := experiments.MetricsOverhead(ctx, *batch, *overheadShards)
@@ -1199,6 +1343,118 @@ func checkRuleScale(path string, ctx experiments.Context, tol float64) error {
 		}
 	}
 	return fmt.Errorf("rule-count scaling regressed vs %s on all %d attempts:\n  %s",
+		path, checkAttempts, strings.Join(failures, "\n  "))
+}
+
+// checkIOFrontend re-measures the loopback serve/load sweep when the
+// baseline carries iofrontend rows. Three gates: achieved rate must stay
+// above baseline − ioFrontendPPSTol (max-folded across attempts, like
+// every throughput gate), each latency quantile must stay below
+// baseline × (1 + ioFrontendLatTol) (min-folded — the best attempt
+// clears a noise spike, a structural regression clears nothing), and
+// decode errors must be exactly zero on every attempt. The latency and
+// rate tolerances are deliberately wide because loopback round trips
+// measure the host's syscall cost more than the classification path
+// (see ioFrontendPPSTol); the gate catches multiples, not percents.
+// Files without iofrontend rows skip the gate.
+func checkIOFrontend(path string, ctx experiments.Context) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parsing %s: %w", path, err)
+	}
+	if len(base.IOFrontend) == 0 {
+		return nil
+	}
+	if base.Packets != 0 {
+		ctx.Packets = base.Packets
+	}
+	if base.RuleSetSeed != 0 {
+		ctx.Seed = base.RuleSetSeed
+	}
+	var rates []int
+	for _, r := range base.IOFrontend {
+		rates = append(rates, r.RatePPS)
+	}
+	bestPPS := map[int]float64{}
+	bestP50 := map[int]float64{}
+	bestP99 := map[int]float64{}
+	bestP999 := map[int]float64{}
+	var failures []string
+	for attempt := 0; attempt < checkAttempts; attempt++ {
+		rows, err := experiments.IOFrontend(ctx, rates)
+		if err != nil {
+			return err
+		}
+		for _, got := range rows {
+			// Decode errors are deterministic correctness, not noise: any
+			// attempt observing one fails immediately.
+			if got.DecodeErrors > 0 {
+				return fmt.Errorf("iofrontend rate %d: %d decode errors on well-formed traffic vs %s",
+					got.RatePPS, got.DecodeErrors, path)
+			}
+			if got.AchievedPPS > bestPPS[got.RatePPS] {
+				bestPPS[got.RatePPS] = got.AchievedPPS
+			}
+			fold := func(m map[int]float64, v float64) {
+				if cur, ok := m[got.RatePPS]; !ok || v < cur {
+					m[got.RatePPS] = v
+				}
+			}
+			fold(bestP50, got.P50Us)
+			fold(bestP99, got.P99Us)
+			fold(bestP999, got.P999Us)
+		}
+		failures = failures[:0]
+		for _, want := range base.IOFrontend {
+			if want.AchievedPPS > 0 {
+				got := bestPPS[want.RatePPS]
+				ratio := got / want.AchievedPPS
+				fmt.Printf("iofrontend/rate=%-6d achieved %.0f pps vs baseline %.0f (%.0f%%)\n",
+					want.RatePPS, got, want.AchievedPPS, ratio*100)
+				if ratio < 1-ioFrontendPPSTol {
+					failures = append(failures,
+						fmt.Sprintf("rate %d achieved %.0f pps < %.0f baseline - %.0f%% tolerance",
+							want.RatePPS, got, want.AchievedPPS, ioFrontendPPSTol*100))
+				}
+			}
+			quantiles := []struct {
+				name string
+				want float64
+				got  float64
+			}{
+				{"p50", want.P50Us, bestP50[want.RatePPS]},
+				{"p99", want.P99Us, bestP99[want.RatePPS]},
+				{"p999", want.P999Us, bestP999[want.RatePPS]},
+			}
+			for _, q := range quantiles {
+				if q.want <= 0 {
+					continue
+				}
+				ratio := q.got / q.want
+				fmt.Printf("iofrontend/rate=%-6d %-4s %.0fµs vs baseline %.0fµs (%.0f%%)\n",
+					want.RatePPS, q.name, q.got, q.want, ratio*100)
+				if ratio > 1+ioFrontendLatTol {
+					failures = append(failures,
+						fmt.Sprintf("rate %d %s %.0fµs > %.0fµs baseline + %.0f%% tolerance",
+							want.RatePPS, q.name, q.got, q.want, ioFrontendLatTol*100))
+				}
+			}
+		}
+		if len(failures) == 0 {
+			fmt.Printf("ok: iofrontend rows within tolerance of %s (rate -%.0f%%, latency +%.0f%%) with zero decode errors\n",
+				path, ioFrontendPPSTol*100, ioFrontendLatTol*100)
+			return nil
+		}
+		if attempt < checkAttempts-1 {
+			fmt.Printf("iofrontend gate outside tolerance; re-measuring to rule out host noise (attempt %d/%d)\n",
+				attempt+2, checkAttempts)
+		}
+	}
+	return fmt.Errorf("packet I/O front end regressed vs %s on all %d attempts:\n  %s",
 		path, checkAttempts, strings.Join(failures, "\n  "))
 }
 

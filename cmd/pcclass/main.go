@@ -79,6 +79,13 @@ type pipelinedClassifier interface {
 }
 
 func main() {
+	// "pcclass serve" is the live-traffic front end (pcap replay and the
+	// UDP classification server); everything else is the classic
+	// trace-file mode below.
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		serveMain(os.Args[2:])
+		return
+	}
 	var (
 		rulesFile = flag.String("rules", "", "rule set file (ClassBench-style)")
 		standard  = flag.String("ruleset", "", "standard set name (FW01..CR04) instead of -rules")

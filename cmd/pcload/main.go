@@ -1,0 +1,180 @@
+// Command pcload is the load generator paired with "pcclass serve": it
+// streams rule-directed pktgen traffic at a UDP classification server at
+// a target rate and reports round-trip latency quantiles (p50/p99/p999
+// from a log-linear histogram), achieved rate, shed rate and loss — the
+// client half of the server/load-generator split.
+//
+//	pcload -ruleset CR04 -count 20000 -rate 50000 -target 127.0.0.1:9920
+//	pcload -ruleset CR04 -count 20000 -target 127.0.0.1:9920 -verify
+//	pcload -ruleset CR04 -count 5000 -pcap-out cr04.pcap
+//
+// -verify checks every echoed verdict against the linear-search oracle.
+// -pcap-out skips the network entirely and writes the generated traffic
+// as a classic libpcap capture for "pcclass serve -pcap" replay.
+// -json appends a machine-readable report line for CI assertions.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/iofront"
+	"repro/internal/linear"
+	"repro/internal/pcapio"
+	"repro/internal/pktgen"
+	"repro/internal/rulegen"
+	"repro/internal/rules"
+	"repro/internal/wire"
+)
+
+func main() {
+	var (
+		rulesFile = flag.String("rules", "", "rule set file (ClassBench-style)")
+		standard  = flag.String("ruleset", "", "standard set name (FW01..CR04) instead of -rules")
+		count     = flag.Int("count", 10000, "packets to send")
+		seed      = flag.Int64("seed", 1, "traffic seed")
+		matchFrac = flag.Float64("match", pktgen.DefaultMatchFraction, "fraction of packets directed at some rule")
+
+		target = flag.String("target", "", "server UDP address (pcclass serve -listen)")
+		rate   = flag.Int("rate", 0, "target send rate in packets/sec (0 = unpaced)")
+		drain  = flag.Duration("drain", 0, "reply drain window after the last send (default 300ms)")
+		verify = flag.Bool("verify", false, "cross-check every echoed verdict against linear search")
+
+		pcapOut  = flag.String("pcap-out", "", "write the traffic as a libpcap capture to this file instead of sending")
+		jsonFile = flag.String("json", "", "append a JSON report line to this file ('-' for stdout)")
+	)
+	flag.Parse()
+
+	rs, err := loadRules(*rulesFile, *standard)
+	if err != nil {
+		fatal(err)
+	}
+	tr, err := pktgen.Generate(rs, pktgen.Config{Count: *count, Seed: *seed, MatchFraction: *matchFrac})
+	if err != nil {
+		fatal(err)
+	}
+
+	if *pcapOut != "" {
+		if err := writePcap(*pcapOut, tr.Headers); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote         %d packets (%s, %d rules) to %s\n", len(tr.Headers), rs.Name, rs.Len(), *pcapOut)
+		return
+	}
+	if *target == "" {
+		fatal(fmt.Errorf("need -target (or -pcap-out)"))
+	}
+
+	rep, err := iofront.RunLoad(context.Background(), iofront.LoadConfig{
+		Addr:    *target,
+		Headers: tr.Headers,
+		Rate:    *rate,
+		Drain:   *drain,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("target        %s (%s, %d rules)\n", *target, rs.Name, rs.Len())
+	fmt.Printf("sent          %d in %v (%.0f pkt/s achieved, %d pkt/s target)\n",
+		rep.Sent, rep.Elapsed.Round(time.Millisecond), rep.AchievedPPS, *rate)
+	fmt.Printf("replies       %d (matched %d  no-match %d  shed %d  decode-errors %d  lost %d)\n",
+		rep.Replies, rep.Matched, rep.NoMatch, rep.Shed, rep.DecodeErrors, rep.Lost)
+	fmt.Printf("latency       p50 %v  p99 %v  p999 %v  mean %v\n", rep.P50, rep.P99, rep.P999, rep.Mean)
+	fmt.Printf("shed rate     %.4f\n", rep.ShedRate)
+
+	failed := false
+	if *verify {
+		oracle := linear.New(rs)
+		mismatches := 0
+		for i, v := range rep.Verdicts {
+			if v == iofront.VerdictNone || v == pcapio.VerdictShed || v == pcapio.VerdictDecodeError {
+				continue
+			}
+			h := tr.Headers[i]
+			if h.Proto != rules.ProtoTCP && h.Proto != rules.ProtoUDP {
+				h.SrcPort, h.DstPort = 0, 0 // ports do not survive the wire for other protocols
+			}
+			if int(v) != oracle.Classify(h) {
+				mismatches++
+			}
+		}
+		if mismatches > 0 {
+			fmt.Printf("VERIFY FAILED: %d verdicts disagree with linear search\n", mismatches)
+			failed = true
+		} else {
+			fmt.Println("verify        all echoed verdicts match linear search")
+		}
+	}
+
+	if *jsonFile != "" {
+		out := os.Stdout
+		if *jsonFile != "-" {
+			f, err := os.OpenFile(*jsonFile, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			out = f
+		}
+		enc := json.NewEncoder(out)
+		if err := enc.Encode(map[string]any{
+			"sent": rep.Sent, "replies": rep.Replies, "lost": rep.Lost,
+			"matched": rep.Matched, "no_match": rep.NoMatch, "shed": rep.Shed,
+			"decode_errors": rep.DecodeErrors,
+			"achieved_pps":  rep.AchievedPPS, "shed_rate": rep.ShedRate,
+			"p50_ns": rep.P50.Nanoseconds(), "p99_ns": rep.P99.Nanoseconds(),
+			"p999_ns": rep.P999.Nanoseconds(), "mean_ns": rep.Mean.Nanoseconds(),
+		}); err != nil {
+			fatal(err)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// writePcap serializes the traffic as a classic little-endian libpcap
+// capture of minimum-size Ethernet frames.
+func writePcap(path string, headers []rules.Header) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w, err := pcapio.NewWriter(f)
+	if err != nil {
+		return err
+	}
+	base := uint64(time.Now().UnixNano())
+	for i, h := range headers {
+		if err := w.WritePacket(base+uint64(i)*1000, wire.BuildFrame(h)); err != nil {
+			return err
+		}
+	}
+	return f.Sync()
+}
+
+func loadRules(file, standard string) (*rules.RuleSet, error) {
+	if standard != "" {
+		return rulegen.Standard(standard)
+	}
+	if file == "" {
+		return nil, fmt.Errorf("need -rules or -ruleset")
+	}
+	f, err := os.Open(file)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return rules.Parse(file, f)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pcload:", err)
+	os.Exit(1)
+}

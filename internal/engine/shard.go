@@ -225,12 +225,14 @@ func classifyBatchSeqs(cl Classifier, bc BatchClassifier, seqs []uint64, hs []ru
 	return panicked
 }
 
-// runSharded is RunContext's serving path for Shards > 1 or a non-zero
-// flow cache. Contracts are identical to the unsharded path; see the
-// package comment at the top of this file for the layout.
-func runSharded(ctx context.Context, cl Classifier, cfg Config, headers []rules.Header, emit func(Result)) (Stats, error) {
-	nShards := cfg.Shards
-	results := make(chan *resultBatch, cfg.QueueDepth)
+// makeShards constructs and validates every shard for one run before any
+// goroutine launches. Construction must not be folded into the launch
+// loop: if shard i's flow cache fails to construct after shards 0..i-1
+// started serving, those goroutines would block forever on their
+// never-closed job rings — nothing in the early-return path would ever
+// close them. Shared by the slice path (runSharded) and the streaming
+// path (RunStream).
+func makeShards(cl Classifier, cfg Config) ([]*shard, error) {
 	bc := cfg.batcher(cl)
 	// With pipelining on, the flow cache's slow path is the pipelined
 	// adapter, so cache-miss sub-batches take the staged walk too. The
@@ -239,13 +241,7 @@ func runSharded(ctx context.Context, cl Classifier, cfg Config, headers []rules.
 	if bc != nil {
 		cacheSlow = bc
 	}
-
-	// Construct and validate every shard before launching any goroutine.
-	// The launch must not be folded into this loop: if shard i's flow
-	// cache fails to construct after shards 0..i-1 started serving, those
-	// goroutines would block forever on their never-closed job rings —
-	// nothing in the early-return path would ever close them.
-	shards := make([]*shard, nShards)
+	shards := make([]*shard, cfg.Shards)
 	for i := range shards {
 		s := &shard{lane: lane{cl: cl, bc: bc}, jobs: make(chan *shardJob, cfg.QueueDepth)}
 		s.jobPool.New = func() any {
@@ -260,7 +256,7 @@ func runSharded(ctx context.Context, cl Classifier, cfg Config, headers []rules.
 		if cfg.FlowCacheFlows > 0 {
 			c, err := newFlowCache(cacheSlow, cfg.FlowCacheFlows)
 			if err != nil {
-				return Stats{}, fmt.Errorf("engine: shard %d flow cache: %w", i, err)
+				return nil, fmt.Errorf("engine: shard %d flow cache: %w", i, err)
 			}
 			s.cache = c
 			s.gen, _ = cl.(generationProvider)
@@ -273,6 +269,39 @@ func runSharded(ctx context.Context, cl Classifier, cfg Config, headers []rules.
 			s.events = cfg.Metrics.events
 		}
 		shards[i] = s
+	}
+	return shards, nil
+}
+
+// shed fails a whole pending batch through results without classifying
+// it — ErrShed markers under overload, cancellation markers otherwise —
+// keeping the sequence space gap-free for the sequencer.
+func (s *shard) shed(j *shardJob, err error, results chan<- *resultBatch) {
+	out := s.resPool.Get().(*resultBatch)
+	out.home = &s.resPool
+	out.rs = out.rs[:len(j.hs)]
+	for k, h := range j.hs {
+		out.rs[k] = Result{Seq: j.seqs[k], Header: h, Match: -1, Err: err}
+	}
+	if errors.Is(err, ErrShed) {
+		s.m.addShed(uint64(len(j.hs)))
+	} else {
+		s.m.addCanceled(uint64(len(j.hs)))
+	}
+	j.seqs, j.hs = j.seqs[:0], j.hs[:0]
+	s.jobPool.Put(j)
+	results <- out
+}
+
+// runSharded is RunContext's serving path for Shards > 1 or a non-zero
+// flow cache. Contracts are identical to the unsharded path; see the
+// package comment at the top of this file for the layout.
+func runSharded(ctx context.Context, cl Classifier, cfg Config, headers []rules.Header, emit func(Result)) (Stats, error) {
+	nShards := cfg.Shards
+	results := make(chan *resultBatch, cfg.QueueDepth)
+	shards, err := makeShards(cl, cfg)
+	if err != nil {
+		return Stats{}, err
 	}
 	var wg sync.WaitGroup
 	var panics atomic.Int64
@@ -287,20 +316,7 @@ func runSharded(ctx context.Context, cl Classifier, cfg Config, headers []rules.
 	// shedJob emits a whole pending batch as ErrShed markers through
 	// results, keeping the sequence space gap-free for the sequencer.
 	shedJob := func(s *shard, j *shardJob, err error) {
-		out := s.resPool.Get().(*resultBatch)
-		out.home = &s.resPool
-		out.rs = out.rs[:len(j.hs)]
-		for k, h := range j.hs {
-			out.rs[k] = Result{Seq: j.seqs[k], Header: h, Match: -1, Err: err}
-		}
-		if errors.Is(err, ErrShed) {
-			s.m.addShed(uint64(len(j.hs)))
-		} else {
-			s.m.addCanceled(uint64(len(j.hs)))
-		}
-		j.seqs, j.hs = j.seqs[:0], j.hs[:0]
-		s.jobPool.Put(j)
-		results <- out
+		s.shed(j, err, results)
 	}
 
 	var undispatched atomic.Int64

@@ -393,3 +393,39 @@ func TestPipelineShape(t *testing.T) {
 		}
 	}
 }
+
+func TestIOFrontendShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timed loopback serving runs")
+	}
+	rows, err := IOFrontend(light, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2 (unpaced capacity + half-capacity paced)", len(rows))
+	}
+	if rows[0].RatePPS != 0 {
+		t.Errorf("first row must be the unpaced capacity probe: %+v", rows[0])
+	}
+	if rows[1].RatePPS <= 0 {
+		t.Errorf("second row must be paced at half the measured capacity: %+v", rows[1])
+	}
+	for i, r := range rows {
+		if r.Sent <= 0 || r.AchievedPPS <= 0 {
+			t.Errorf("row %d degenerate: %+v", i, r)
+		}
+		if r.DecodeErrors != 0 {
+			t.Errorf("row %d: %d decode errors on well-formed traffic", i, r.DecodeErrors)
+		}
+		if r.Replies > 0 && (r.P50Us <= 0 || r.P99Us < r.P50Us || r.P999Us < r.P99Us) {
+			t.Errorf("row %d: latency quantiles not ordered: %+v", i, r)
+		}
+	}
+	text := RenderIOFrontend(rows)
+	for _, want := range []string{"Rate pps", "p50", "p999", "Shed", "unpaced"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -1,0 +1,215 @@
+package iofront
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/pcapio"
+	"repro/internal/rules"
+	"repro/internal/wire"
+)
+
+// LoadConfig configures RunLoad.
+type LoadConfig struct {
+	// Addr is the server's UDP address.
+	Addr string
+	// Headers is the traffic to send, one request per header, token =
+	// index. pktgen.Generate is the usual origin (rule-directed traffic).
+	Headers []rules.Header
+	// Rate is the send pacing in packets per second; 0 sends unpaced.
+	Rate int
+	// Drain is how long to wait for straggler replies after the last
+	// send. 0 means DefaultDrain.
+	Drain time.Duration
+}
+
+// DefaultDrain comfortably exceeds any loopback round trip.
+const DefaultDrain = 300 * time.Millisecond
+
+// VerdictNone marks a packet that never got a reply in
+// LoadReport.Verdicts.
+const VerdictNone int32 = math.MinInt32
+
+// LoadReport is the load generator's view of a run: wire-level
+// accounting, the verdict per packet, and round-trip latency quantiles.
+type LoadReport struct {
+	// Sent counts requests written; Replies the distinct tokens answered.
+	// Lost = Sent − Replies − late duplicates (packets that never heard
+	// back inside the drain window).
+	Sent, Replies, Lost int
+	// Matched / NoMatch / Shed / DecodeErrors split Replies by verdict.
+	Matched, NoMatch, Shed, DecodeErrors int
+
+	// Verdicts holds each packet's verdict by send index (VerdictNone
+	// when no reply arrived), for oracle verification.
+	Verdicts []int32
+
+	// Elapsed covers first send to last send; AchievedPPS = Sent/Elapsed.
+	Elapsed     time.Duration
+	AchievedPPS float64
+	// ShedRate is Shed/Replies (0 when nothing was answered).
+	ShedRate float64
+
+	// P50, P99, P999 and Mean are round-trip latency order statistics
+	// (send to reply-read) from a log-linear histogram with ≈3%
+	// resolution.
+	P50, P99, P999, Mean time.Duration
+	// Latency is the full histogram snapshot behind the quantiles.
+	Latency obs.LatSnapshot
+}
+
+// RunLoad streams cfg.Headers at the server as framed requests, paced at
+// cfg.Rate, and collects replies concurrently until a drain window after
+// the last send closes. Lost packets (UDP is allowed to drop) are
+// reported, not errors; only socket-level failures are.
+func RunLoad(ctx context.Context, cfg LoadConfig) (LoadReport, error) {
+	if len(cfg.Headers) == 0 {
+		return LoadReport{}, fmt.Errorf("iofront: no traffic to send")
+	}
+	if cfg.Drain <= 0 {
+		cfg.Drain = DefaultDrain
+	}
+	raddr, err := net.ResolveUDPAddr("udp", cfg.Addr)
+	if err != nil {
+		return LoadReport{}, fmt.Errorf("iofront: %w", err)
+	}
+	conn, err := net.DialUDP("udp", nil, raddr)
+	if err != nil {
+		return LoadReport{}, fmt.Errorf("iofront: %w", err)
+	}
+	defer conn.Close()
+
+	n := len(cfg.Headers)
+	// Requests are prebuilt so the send loop is pacing plus one write.
+	reqs := make([][]byte, n)
+	arena := make([]byte, 0, n*(pcapio.ReqHeaderLen+wire.FrameSize))
+	for i, h := range cfg.Headers {
+		start := len(arena)
+		arena = pcapio.AppendRequest(arena, uint64(i), wire.BuildFrame(h))
+		reqs[i] = arena[start:len(arena):len(arena)]
+	}
+
+	// sentAt and verdicts are written by the sender/receiver pair with no
+	// lock between them: a socket round trip is not a Go happens-before
+	// edge, so both sides go through atomics. Times are nanoseconds since
+	// base; verdict slots hold VerdictNone until a reply lands.
+	base := time.Now()
+	sentAt := make([]atomic.Int64, n)
+	verdicts := make([]atomic.Int32, n)
+	for i := range verdicts {
+		verdicts[i].Store(VerdictNone)
+	}
+	var hist obs.LatHist
+
+	recvDone := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 64)
+		for {
+			m, err := conn.Read(buf)
+			if err != nil {
+				var ne net.Error
+				if errors.As(err, &ne) && ne.Timeout() {
+					recvDone <- nil // drain window closed
+				} else {
+					recvDone <- err
+				}
+				return
+			}
+			now := time.Since(base).Nanoseconds()
+			token, verdict, err := pcapio.ParseReply(buf[:m])
+			if err != nil || token >= uint64(n) {
+				continue // not ours; ignore
+			}
+			at := sentAt[int(token)].Load()
+			if at == 0 {
+				continue // reply for a packet we have not sent: ignore
+			}
+			if verdicts[int(token)].Swap(verdict) == VerdictNone {
+				hist.Observe(uint64(now - at))
+			}
+		}
+	}()
+
+	var interval time.Duration
+	if cfg.Rate > 0 {
+		interval = time.Duration(int64(time.Second) / int64(cfg.Rate))
+	}
+	sendStart := time.Now()
+	sent := 0
+	for i, req := range reqs {
+		if ctx.Err() != nil {
+			break
+		}
+		if interval > 0 {
+			if d := time.Until(sendStart.Add(time.Duration(i) * interval)); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		sentAt[i].Store(time.Since(base).Nanoseconds() | 1) // |1: never the unsent sentinel 0
+		if _, err := conn.Write(req); err != nil {
+			return LoadReport{}, fmt.Errorf("iofront: sending packet %d: %w", i, err)
+		}
+		sent++
+	}
+	elapsed := time.Since(sendStart)
+
+	// Let stragglers land, then expire the receiver via its deadline.
+	drainCtx, cancel := context.WithTimeout(ctx, cfg.Drain)
+	defer cancel()
+	<-drainCtx.Done()
+	if err := conn.SetReadDeadline(time.Now()); err != nil {
+		return LoadReport{}, fmt.Errorf("iofront: %w", err)
+	}
+	if err := <-recvDone; err != nil {
+		return LoadReport{}, fmt.Errorf("iofront: receiving replies: %w", err)
+	}
+
+	rep := LoadReport{
+		Sent:     sent,
+		Verdicts: make([]int32, n),
+		Elapsed:  elapsed,
+		Latency:  hist.Snapshot(),
+	}
+	for i := range rep.Verdicts {
+		v := verdicts[i].Load()
+		rep.Verdicts[i] = v
+		if i >= sent {
+			continue
+		}
+		switch {
+		case v == VerdictNone:
+			rep.Lost++
+		case v >= 0:
+			rep.Replies++
+			rep.Matched++
+		case v == pcapio.VerdictNoMatch:
+			rep.Replies++
+			rep.NoMatch++
+		case v == pcapio.VerdictShed:
+			rep.Replies++
+			rep.Shed++
+		case v == pcapio.VerdictDecodeError:
+			rep.Replies++
+			rep.DecodeErrors++
+		default:
+			rep.Replies++
+		}
+	}
+	if elapsed > 0 {
+		rep.AchievedPPS = float64(sent) / elapsed.Seconds()
+	}
+	if rep.Replies > 0 {
+		rep.ShedRate = float64(rep.Shed) / float64(rep.Replies)
+	}
+	rep.P50 = time.Duration(rep.Latency.Quantile(0.5))
+	rep.P99 = time.Duration(rep.Latency.Quantile(0.99))
+	rep.P999 = time.Duration(rep.Latency.Quantile(0.999))
+	rep.Mean = time.Duration(rep.Latency.Mean())
+	return rep, nil
+}

@@ -1,0 +1,260 @@
+// Package iofront is the live-traffic front end: a UDP classification
+// server and the load generator that drives it, the commodity-socket
+// translation of the paper's receive-microengine / classification-
+// microengine split (and NuevoMatch's classifier-server / load-generator
+// pair). The server assembles datagrams into segment buffers, decodes
+// them through internal/wire, streams the headers into the sharded
+// engine via engine.RunStream, and echoes one verdict per request; the
+// load generator paces rule-directed traffic at a target rate and folds
+// every reply into a round-trip latency histogram.
+package iofront
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/netip"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/pcapio"
+	"repro/internal/rules"
+	"repro/internal/wire"
+)
+
+// ServerConfig configures Serve.
+type ServerConfig struct {
+	// Engine is passed through to engine.RunStream. PreserveOrder is
+	// forced on: reply correlation relies on results emerging in arrival
+	// order (see replyMeta).
+	Engine engine.Config
+	// FlushInterval bounds how long an under-filled batch may wait for
+	// more traffic before being handed to the engine — the tail-latency
+	// knob. 0 means DefaultFlushInterval.
+	FlushInterval time.Duration
+	// Echo controls whether verdicts are sent back to the requester.
+	// Decode-error replies are sent regardless — a malformed request is
+	// a protocol conversation, not traffic.
+	Echo bool
+}
+
+// DefaultFlushInterval keeps tail latency bounded at light load without
+// spinning the receive loop.
+const DefaultFlushInterval = 500 * time.Microsecond
+
+// ServeReport is the server's accounting after a Serve returns. Every
+// received datagram is accounted exactly once, and Check verifies it.
+type ServeReport struct {
+	// Received counts request datagrams read off the socket.
+	Received int
+	// DecodeErrors counts requests whose frame the wire decoder
+	// rejected; each was answered VerdictDecodeError and never reached
+	// the engine.
+	DecodeErrors int
+	// Offered counts headers handed to the engine: Received − DecodeErrors.
+	Offered int
+	// Classified, Shed, Canceled, Panics split Offered by outcome.
+	Classified, Shed, Canceled, Panics int
+	// Replies counts reply datagrams written (0 with Echo off except
+	// decode-error replies).
+	Replies int
+
+	// Stats is the underlying engine accounting.
+	Stats engine.Stats
+}
+
+// Check verifies the conservation identities: no datagram is ever
+// silently dropped between the socket and the verdict.
+func (r ServeReport) Check() error {
+	if r.DecodeErrors+r.Offered != r.Received {
+		return fmt.Errorf("iofront: %d decode errors + %d offered != %d received",
+			r.DecodeErrors, r.Offered, r.Received)
+	}
+	if r.Classified+r.Shed+r.Canceled+r.Panics != r.Offered {
+		return fmt.Errorf("iofront: %d classified + %d shed + %d canceled + %d panicked != %d offered",
+			r.Classified, r.Shed, r.Canceled, r.Panics, r.Offered)
+	}
+	return nil
+}
+
+// replyMeta is the per-packet reply routing the engine never sees: the
+// request token and where to send the verdict. The dispatcher pushes one
+// per header it feeds the engine; the emitter pops one per result. With
+// PreserveOrder forced on, results emerge in exactly the order headers
+// were pulled, so a FIFO queue is a correct correlator — no map, no
+// per-packet allocation.
+type replyMeta struct {
+	token uint64
+	addr  netip.AddrPort
+}
+
+// udpSource adapts a UDP socket to engine.Source: each pull assembles
+// datagrams into a segment arena under a read deadline, decodes them,
+// answers malformed ones immediately, and queues reply metadata for the
+// rest. A deadline expiry returns a short fill, which tells the engine
+// to flush half-built shard batches (see engine.Source).
+type udpSource struct {
+	conn  *net.UDPConn
+	flush time.Duration
+	meta  chan replyMeta
+	reply func(token uint64, verdict int32, addr netip.AddrPort)
+
+	seg pcapio.Segment
+
+	received     int
+	decodeErrors int
+	offered      int
+	closed       bool
+}
+
+func (s *udpSource) Next(hs []rules.Header) (int, bool) {
+	if s.closed {
+		return 0, false
+	}
+	s.seg.Reset()
+	// One deadline covers the whole batch: every read until it fires
+	// shares the same absolute cutoff, so arm it once, not per datagram
+	// (a syscall per packet on the receive path).
+	if err := s.conn.SetReadDeadline(time.Now().Add(s.flush)); err != nil {
+		s.closed = true
+		return 0, false
+	}
+	n := 0
+	for n < len(hs) {
+		buf := s.seg.Grow(pcapio.MaxRequestLen + 1)
+		m, addr, err := s.conn.ReadFromUDPAddrPort(buf)
+		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				break // idle: hand back a short fill so the engine flushes
+			}
+			s.closed = true // socket closed or broken: end of stream
+			break
+		}
+		s.seg.Commit(m)
+		s.received++
+		token, frame, err := pcapio.ParseRequest(s.seg.Packet(s.seg.Count() - 1))
+		if err != nil {
+			s.decodeErrors++
+			s.reply(0, pcapio.VerdictDecodeError, addr)
+			continue
+		}
+		h, err := wire.ParseFrame(frame)
+		if err != nil {
+			s.decodeErrors++
+			s.reply(token, pcapio.VerdictDecodeError, addr)
+			continue
+		}
+		hs[n] = h
+		n++
+		s.offered++
+		s.meta <- replyMeta{token: token, addr: addr}
+	}
+	return n, !s.closed
+}
+
+// Serve classifies datagrams arriving on conn until ctx is canceled
+// (cancellation is the normal shutdown path and is not reported as an
+// error). The caller keeps ownership of conn.
+func Serve(ctx context.Context, conn *net.UDPConn, cl engine.Classifier, cfg ServerConfig) (ServeReport, error) {
+	if cfg.FlushInterval <= 0 {
+		cfg.FlushInterval = DefaultFlushInterval
+	}
+	ecfg := cfg.Engine
+	ecfg.PreserveOrder = true
+
+	// Size the metadata queue near the engine's in-flight packet bound so
+	// it never backpressures the receive loop on the steady path. A full
+	// queue cannot deadlock — the emitter pops one entry per result and
+	// every result's entry was pushed before its header entered the
+	// engine, so the pop side never waits on the push side — it would
+	// only stall the dispatcher briefly. Mirror the engine's defaulting
+	// for the unset knobs.
+	d := engine.DefaultConfig()
+	shards, queueDepth, batch := ecfg.Shards, ecfg.QueueDepth, ecfg.BatchSize
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	if queueDepth <= 0 {
+		queueDepth = d.QueueDepth
+	}
+	if batch <= 0 {
+		batch = d.BatchSize
+	}
+	inFlight := shards * (queueDepth + 4) * batch
+
+	// Decode-error replies are written on the dispatcher goroutine and
+	// verdict replies on the emitter goroutine; WriteToUDPAddrPort is
+	// concurrency-safe but the scratch reply buffers are not, so each
+	// side owns one.
+	var srcReplyBuf, emitReplyBuf [pcapio.ReplyLen]byte
+	srcReplies, emitReplies := 0, 0
+	src := &udpSource{
+		conn:  conn,
+		flush: cfg.FlushInterval,
+		meta:  make(chan replyMeta, inFlight),
+		reply: func(token uint64, verdict int32, addr netip.AddrPort) {
+			if _, err := conn.WriteToUDPAddrPort(pcapio.PutReply(srcReplyBuf[:], token, verdict), addr); err == nil {
+				srcReplies++
+			}
+		},
+	}
+
+	st, err := engine.RunStream(ctx, cl, ecfg, src, func(r engine.Result) {
+		m := <-src.meta
+		if !cfg.Echo {
+			return
+		}
+		verdict := pcapio.VerdictShed
+		if r.Err == nil {
+			verdict = int32(r.Match) // rule index, or −1 == VerdictNoMatch
+		}
+		// Shed, canceled or panicked packets all present to the client as
+		// VerdictShed — "not classified, resend if you care" — rather than
+		// leaking server internals.
+		if _, err := conn.WriteToUDPAddrPort(pcapio.PutReply(emitReplyBuf[:], m.token, verdict), m.addr); err == nil {
+			emitReplies++
+		}
+	})
+	if err != nil && ctx.Err() != nil && errors.Is(err, ctx.Err()) {
+		err = nil // cancellation is how a serve run ends
+	}
+
+	report := ServeReport{
+		Received:     src.received,
+		DecodeErrors: src.decodeErrors,
+		Offered:      src.offered,
+		Classified:   st.Packets,
+		Shed:         st.Shed,
+		Canceled:     st.Canceled,
+		Panics:       st.Panics,
+		Replies:      srcReplies + emitReplies,
+		Stats:        st,
+	}
+	if err == nil {
+		err = report.Check()
+	}
+	return report, err
+}
+
+// ListenAndServe binds a UDP socket on addr, announces it on startup
+// (the l-NIC server prints its ready line for the same reason: the load
+// generator scrapes it), and serves until ctx cancels.
+func ListenAndServe(ctx context.Context, addr string, cl engine.Classifier, cfg ServerConfig, announce *os.File) (ServeReport, error) {
+	laddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return ServeReport{}, fmt.Errorf("iofront: %w", err)
+	}
+	conn, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return ServeReport{}, fmt.Errorf("iofront: %w", err)
+	}
+	defer conn.Close()
+	if announce != nil {
+		fmt.Fprintf(announce, "iofront: serving on %s\n", conn.LocalAddr())
+	}
+	return Serve(ctx, conn, cl, cfg)
+}

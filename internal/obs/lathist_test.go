@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestLatBucketMonotoneAndConsistent(t *testing.T) {
+	// Bucket index must be monotone in the value, every value must fall
+	// at or below its bucket's upper bound, and the upper bound must be
+	// within the documented ~3% relative error.
+	vals := []uint64{0, 1, 31, 32, 33, 63, 64, 100, 1000, 12345, 1 << 20, 1<<20 + 7, 1 << 40, 1<<63 - 1, 1 << 63, ^uint64(0)}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		vals = append(vals, rng.Uint64()>>uint(rng.Intn(64)))
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	lastBucket := -1
+	for _, v := range vals {
+		b := latBucket(v)
+		if b < 0 || b >= latBuckets {
+			t.Fatalf("value %d: bucket %d out of range", v, b)
+		}
+		if b < lastBucket {
+			t.Fatalf("bucket index not monotone at value %d", v)
+		}
+		lastBucket = b
+		upper := latBucketUpper(b)
+		if upper < v {
+			t.Fatalf("value %d above its bucket upper bound %d", v, upper)
+		}
+		if v >= 1<<latSubBits {
+			// Relative error of reporting upper instead of v is bounded by
+			// one sub-bucket width over the range base.
+			if float64(upper-v) > float64(v)/float64(1<<latSubBits)+1 {
+				t.Fatalf("value %d: upper bound %d overshoots by more than one sub-bucket", v, upper)
+			}
+		} else if upper != v {
+			t.Fatalf("exact region value %d mapped to upper bound %d", v, upper)
+		}
+	}
+}
+
+func TestLatBucketUpperIsMaxOfBucket(t *testing.T) {
+	// Every bucket's upper bound must itself map back into that bucket,
+	// and upper+1 into the next.
+	for b := 0; b < latBuckets; b++ {
+		upper := latBucketUpper(b)
+		if got := latBucket(upper); got != b {
+			t.Fatalf("bucket %d upper %d maps to bucket %d", b, upper, got)
+		}
+		if upper != ^uint64(0) {
+			if got := latBucket(upper + 1); got != b+1 {
+				t.Fatalf("bucket %d upper+1 %d maps to bucket %d, want %d", b, upper+1, got, b+1)
+			}
+		}
+	}
+}
+
+func TestLatHistQuantiles(t *testing.T) {
+	// Feed a known distribution and check the reported quantiles land
+	// within one sub-bucket of the exact order statistics.
+	var h LatHist
+	var vals []uint64
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 100000; i++ {
+		// Log-uniformish latency mix: mostly ~100µs, a heavy tail.
+		v := uint64(50_000 + rng.Intn(100_000))
+		if rng.Intn(100) == 0 {
+			v = uint64(1_000_000 + rng.Intn(20_000_000))
+		}
+		vals = append(vals, v)
+		h.Observe(v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	s := h.Snapshot()
+	if s.Count != uint64(len(vals)) {
+		t.Fatalf("count %d, want %d", s.Count, len(vals))
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		exact := vals[int(q*float64(len(vals)))-1]
+		got := s.Quantile(q)
+		lo := exact - exact/(1<<latSubBits) - 1
+		hi := exact + exact/(1<<latSubBits)*2 + 1
+		if got < lo || got > hi {
+			t.Errorf("q%.3f: got %d, exact %d (acceptable [%d,%d])", q, got, exact, lo, hi)
+		}
+	}
+}
+
+func TestLatHistNilAndEmpty(t *testing.T) {
+	var nilHist *LatHist
+	nilHist.Observe(5)
+	nilHist.ObserveN(5, 3)
+	s := nilHist.Snapshot()
+	if s.Count != 0 || s.Quantile(0.5) != 0 || s.Mean() != 0 {
+		t.Fatalf("nil LatHist not inert: %+v", s)
+	}
+	var h LatHist
+	s = h.Snapshot()
+	if s.Quantile(0.99) != 0 {
+		t.Fatal("empty histogram quantile not zero")
+	}
+	h.Observe(42)
+	s = h.Snapshot()
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if got := s.Quantile(q); got != 42 {
+			t.Fatalf("single-observation quantile(%v) = %d, want 42", q, got)
+		}
+	}
+	if s.Sum != 42 || s.Mean() != 42 {
+		t.Fatalf("sum/mean wrong: %+v", s)
+	}
+}
+
+func TestZeroAllocLatHistObserve(t *testing.T) {
+	var h LatHist
+	if allocs := testing.AllocsPerRun(1000, func() {
+		h.Observe(123456)
+		h.ObserveN(789, 3)
+	}); allocs != 0 {
+		t.Fatalf("LatHist.Observe allocates %v per op; the latency path must be 0-alloc", allocs)
+	}
+}

@@ -1,0 +1,73 @@
+package pcapio
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// The UDP wire protocol the serve/load-gen pair speaks, after the l-NIC
+// classifier-server split: a request datagram is an 8-byte big-endian
+// token followed by a raw Ethernet frame; the reply echoes the token
+// with a 4-byte big-endian verdict. The token is opaque to the server —
+// the load generator uses the packet index, so one reply simultaneously
+// carries the round-trip latency (indexing a send-timestamp array) and
+// the classification to check against the oracle.
+const (
+	// ReqHeaderLen is the token prefix on every request datagram.
+	ReqHeaderLen = 8
+	// ReplyLen is the exact size of every reply datagram.
+	ReplyLen = 12
+
+	// MaxFrameLen bounds the frame a request may carry; with the token
+	// prefix it sizes receive buffers.
+	MaxFrameLen = 2048
+	// MaxRequestLen is the largest well-formed request datagram.
+	MaxRequestLen = ReqHeaderLen + MaxFrameLen
+)
+
+// Verdicts below zero are statuses; zero and above are matched rule
+// indices.
+const (
+	// VerdictNoMatch reports a well-formed packet no rule matched.
+	VerdictNoMatch int32 = -1
+	// VerdictDecodeError reports a frame the wire decoder rejected.
+	VerdictDecodeError int32 = -2
+	// VerdictShed reports a packet dropped under overload before
+	// classification.
+	VerdictShed int32 = -3
+)
+
+// AppendRequest appends a request datagram for frame under token to buf
+// and returns the extended slice.
+func AppendRequest(buf []byte, token uint64, frame []byte) []byte {
+	buf = binary.BigEndian.AppendUint64(buf, token)
+	return append(buf, frame...)
+}
+
+// ParseRequest splits a request datagram into its token and frame. The
+// frame aliases b.
+func ParseRequest(b []byte) (token uint64, frame []byte, err error) {
+	if len(b) < ReqHeaderLen {
+		return 0, nil, fmt.Errorf("pcapio: request of %d bytes is shorter than its %d-byte token", len(b), ReqHeaderLen)
+	}
+	if len(b) > MaxRequestLen {
+		return 0, nil, fmt.Errorf("pcapio: request of %d bytes exceeds the %d-byte maximum", len(b), MaxRequestLen)
+	}
+	return binary.BigEndian.Uint64(b[:ReqHeaderLen]), b[ReqHeaderLen:], nil
+}
+
+// PutReply serializes a reply into buf, which must be at least ReplyLen
+// bytes, and returns the ReplyLen-byte datagram.
+func PutReply(buf []byte, token uint64, verdict int32) []byte {
+	binary.BigEndian.PutUint64(buf[0:8], token)
+	binary.BigEndian.PutUint32(buf[8:12], uint32(verdict))
+	return buf[:ReplyLen]
+}
+
+// ParseReply decodes a reply datagram.
+func ParseReply(b []byte) (token uint64, verdict int32, err error) {
+	if len(b) != ReplyLen {
+		return 0, 0, fmt.Errorf("pcapio: reply of %d bytes, want %d", len(b), ReplyLen)
+	}
+	return binary.BigEndian.Uint64(b[0:8]), int32(binary.BigEndian.Uint32(b[8:12])), nil
+}

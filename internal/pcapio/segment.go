@@ -1,0 +1,79 @@
+// Package pcapio is the packet I/O layer under the classification
+// engine: segment-style contiguous packet buffers, a native classic
+// libpcap reader/writer (no cgo, no libpcap), the UDP request/reply
+// codec the serve/load-gen pair speaks, and a pcap-backed engine
+// Source. It turns byte streams — capture files and datagrams — into
+// the decoded header batches internal/engine consumes, allocation-free
+// on the steady path.
+package pcapio
+
+// Segment batches packets in one contiguous byte arena with an offsets
+// index — NuevoMatch's receive-side segment layout, and the software
+// analogue of the paper's receive-microengine staging buffers: one DMA
+// region per batch, not one heap object per packet. Packet i occupies
+// data[offsets[i]:offsets[i+1]]; assembling or walking a batch touches
+// two slices that both survive Reset, so a warmed Segment assembles
+// every subsequent batch with zero allocations.
+type Segment struct {
+	offsets []int
+	data    []byte
+
+	// growing is the in-flight Grow reservation size, -1 when none.
+	growing int
+}
+
+// Reset empties the segment, keeping its capacity for the next batch.
+func (s *Segment) Reset() {
+	s.offsets = s.offsets[:0]
+	s.data = s.data[:0]
+	s.growing = 0
+}
+
+// Count returns how many packets the segment holds.
+func (s *Segment) Count() int { return len(s.offsets) }
+
+// Bytes returns the total payload bytes across all held packets.
+func (s *Segment) Bytes() int { return len(s.data) }
+
+// Packet returns packet i's bytes, aliasing the arena: valid until the
+// next Reset, and never to be retained past it.
+func (s *Segment) Packet(i int) []byte {
+	start := 0
+	if i > 0 {
+		start = s.offsets[i-1]
+	}
+	return s.data[start:s.offsets[i]]
+}
+
+// Append copies one packet into the arena.
+func (s *Segment) Append(pkt []byte) {
+	s.data = append(s.data, pkt...)
+	s.offsets = append(s.offsets, len(s.data))
+}
+
+// Grow reserves max bytes of arena for a packet about to be read in
+// place (a recvfrom or a record body read) and returns the scratch to
+// read into. The reservation is not a packet until Commit; calling Grow
+// again, or Reset, abandons it. The returned slice aliases the arena
+// and is invalidated by any other Segment call.
+func (s *Segment) Grow(max int) []byte {
+	need := len(s.data) + max
+	if cap(s.data) < need {
+		grown := make([]byte, len(s.data), need)
+		copy(grown, s.data)
+		s.data = grown
+	}
+	s.growing = max
+	return s.data[len(s.data):need]
+}
+
+// Commit finalizes the packet read into the last Grow scratch as n
+// bytes long. n must not exceed the Grow reservation.
+func (s *Segment) Commit(n int) {
+	if n > s.growing {
+		panic("pcapio: Commit larger than the Grow reservation")
+	}
+	s.growing = 0
+	s.data = s.data[:len(s.data)+n]
+	s.offsets = append(s.offsets, len(s.data))
+}

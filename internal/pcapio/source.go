@@ -1,0 +1,70 @@
+package pcapio
+
+import (
+	"io"
+
+	"repro/internal/rules"
+	"repro/internal/wire"
+)
+
+// PcapSource replays a capture file through the classification engine:
+// it satisfies engine.Source structurally (this package does not import
+// engine) by batch-reading records into a private Segment arena and
+// then decoding the whole segment with wire.ParseFrame — assemble one
+// contiguous batch, decode it in place, hand the engine bare headers.
+// Undecodable records are counted and skipped, never fatal: a replayed
+// capture is input, not ground truth. The steady path is
+// allocation-free once the arena has warmed to the batch footprint.
+type PcapSource struct {
+	r   *Reader
+	seg Segment
+
+	// Records counts every record read; DecodeErrors the subset the wire
+	// decoder rejected. Their difference is exactly the packets handed to
+	// the engine.
+	Records      uint64
+	DecodeErrors uint64
+
+	err  error
+	done bool
+}
+
+// NewPcapSource opens a capture stream for replay.
+func NewPcapSource(r io.Reader) (*PcapSource, error) {
+	pr, err := NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	return &PcapSource{r: pr}, nil
+}
+
+// Next assembles up to len(hs) records into the segment and decodes
+// them into hs. It fills fully until the capture's tail (modulo skipped
+// undecodable records), so engine batches stay full.
+func (s *PcapSource) Next(hs []rules.Header) (int, bool) {
+	s.seg.Reset()
+	for s.seg.Count() < len(hs) && !s.done {
+		if _, err := s.r.Next(&s.seg); err != nil {
+			s.done = true
+			if err != io.EOF {
+				s.err = err
+			}
+		}
+	}
+	n := 0
+	for i := 0; i < s.seg.Count(); i++ {
+		s.Records++
+		h, err := wire.ParseFrame(s.seg.Packet(i))
+		if err != nil {
+			s.DecodeErrors++
+			continue
+		}
+		hs[n] = h
+		n++
+	}
+	return n, !s.done
+}
+
+// Err reports a mid-file read failure (truncated record, oversized
+// capture length); nil after a clean end of file.
+func (s *PcapSource) Err() error { return s.err }

@@ -7,8 +7,9 @@ import (
 )
 
 // FuzzParseFrame asserts the decode path is total: arbitrary bytes —
-// truncated frames, bit-flipped headers, lying IHL fields — either parse
-// or return an error. It must never panic or index out of range.
+// truncated frames, bit-flipped headers, lying IHL fields, short or
+// overlong TotalLengths, fragment offsets — either parse or return an
+// error. It must never panic or index out of range.
 func FuzzParseFrame(f *testing.F) {
 	// Seed with well-formed frames across protocols...
 	seeds := []rules.Header{
@@ -29,6 +30,30 @@ func FuzzParseFrame(f *testing.F) {
 	bad := BuildFrame(seeds[0])
 	bad[14] = 0x4F // IHL 15 -> 60-byte header
 	f.Add(bad)
+	// TotalLength corner cases: a datagram claiming to end inside its own
+	// IP header, one ending exactly at the header (no transport bytes for
+	// a TCP frame), one two bytes into the transport header, and ones
+	// claiming more bytes than the frame carries (truncated captures).
+	for _, totalLen := range []int{8, 20, 22, FrameSize - ethHeaderLen + 1, 0xFFFF} {
+		short := BuildFrame(seeds[0])
+		setTotalLen(short, totalLen)
+		f.Add(short)
+	}
+	// Fragment corner cases: first fragment (MF, offset 0), a non-first
+	// TCP fragment, the maximum offset, DF alone, and a fragmented frame
+	// with IP options.
+	for _, flagsFrag := range []uint16{0x2000, 0x2001, 0x1FFF, 0x4000} {
+		frag := BuildFrame(seeds[1])
+		setFragment(frag, flagsFrag)
+		f.Add(frag)
+	}
+	f.Add(optionsFrame(seeds[0], 0x2000|3))
+	// Fragmented with a TotalLength stopping at the IP header: both
+	// validations interact.
+	both := BuildFrame(seeds[0])
+	setFragment(both, 0x2002)
+	setTotalLen(both, 20)
+	f.Add(both)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		h, err := ParseFrame(data)

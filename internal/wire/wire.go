@@ -61,9 +61,27 @@ func BuildFrame(h rules.Header) []byte {
 	return f
 }
 
+// fragOffsetMask extracts the 13-bit fragment offset from the IPv4
+// flags/fragment-offset word.
+const fragOffsetMask = 0x1FFF
+
 // ParseFrame recovers the 5-tuple from a frame built like BuildFrame (or
 // any Ethernet II / IPv4 frame with an intact header). The IPv4 checksum
 // is verified; IP options are honoured via the IHL field.
+//
+// The L4 slice is bounded by the IPv4 TotalLength, never by the frame
+// length alone: minimum-size Ethernet frames are padded to 60+ bytes, so
+// a datagram whose TotalLength stops short of a transport header (e.g. a
+// 20-byte ICMP-less probe claiming protocol TCP) must be rejected rather
+// than have its "ports" read out of link-layer padding. Frames whose
+// TotalLength exceeds the bytes actually present are truncated captures
+// and are rejected the same way.
+//
+// Fragments: a non-first fragment (fragment offset > 0) carries payload
+// bytes where the transport header would sit, so it classifies with zero
+// ports — the convention 5-tuple classifiers use — instead of decoding
+// payload as ports. A first fragment (offset 0, MF set) carries the real
+// transport header and decodes normally.
 func ParseFrame(f []byte) (rules.Header, error) {
 	if len(f) < ethHeaderLen+ipv4HeaderLen {
 		return rules.Header{}, fmt.Errorf("wire: frame of %d bytes is too short", len(f))
@@ -82,16 +100,30 @@ func ParseFrame(f []byte) (rules.Header, error) {
 	if checksum(ip[:ihl]) != 0 {
 		return rules.Header{}, fmt.Errorf("wire: IPv4 header checksum mismatch")
 	}
+	totalLen := int(binary.BigEndian.Uint16(ip[2:4]))
+	if totalLen < ihl {
+		return rules.Header{}, fmt.Errorf("wire: TotalLength %d shorter than the %d-byte IP header", totalLen, ihl)
+	}
+	if totalLen > len(ip) {
+		return rules.Header{}, fmt.Errorf("wire: TotalLength %d exceeds the %d bytes on the wire", totalLen, len(ip))
+	}
 	h := rules.Header{
 		SrcIP: binary.BigEndian.Uint32(ip[12:16]),
 		DstIP: binary.BigEndian.Uint32(ip[16:20]),
 		Proto: ip[9],
 	}
 	if h.Proto == rules.ProtoTCP || h.Proto == rules.ProtoUDP {
-		l4 := ip[ihl:]
-		if len(l4) < 4 {
-			return rules.Header{}, fmt.Errorf("wire: truncated transport header")
+		if fragOffset := binary.BigEndian.Uint16(ip[6:8]) & fragOffsetMask; fragOffset > 0 {
+			// Non-first fragment: the bytes at ihl are payload, not a
+			// transport header. Zero ports, like any 5-tuple classifier.
+			return h, nil
 		}
+		// The transport header must fit inside the datagram TotalLength
+		// describes, not merely inside the (padded) frame.
+		if totalLen < ihl+4 {
+			return rules.Header{}, fmt.Errorf("wire: TotalLength %d leaves no room for a transport header after the %d-byte IP header", totalLen, ihl)
+		}
+		l4 := ip[ihl:totalLen]
 		h.SrcPort = binary.BigEndian.Uint16(l4[0:2])
 		h.DstPort = binary.BigEndian.Uint16(l4[2:4])
 	}

@@ -89,25 +89,183 @@ func TestIPOptionsHonored(t *testing.T) {
 	// Hand-build a frame with IHL 6 (one option word); ports must be
 	// found after the options.
 	h := rules.Header{SrcIP: 7, DstIP: 8, SrcPort: 1234, DstPort: 80, Proto: rules.ProtoTCP}
-	f := make([]byte, FrameSize)
-	binary.BigEndian.PutUint16(f[12:14], etherTypeIPv4)
-	ip := f[ethHeaderLen:]
-	ip[0] = 0x46 // IHL 6
-	ip[9] = h.Proto
-	binary.BigEndian.PutUint32(ip[12:16], h.SrcIP)
-	binary.BigEndian.PutUint32(ip[16:20], h.DstIP)
-	// ip[20:24] is the option word (zeros = EOL padding).
-	binary.BigEndian.PutUint16(ip[10:12], checksum(ip[:24]))
-	l4 := ip[24:]
-	binary.BigEndian.PutUint16(l4[0:2], h.SrcPort)
-	binary.BigEndian.PutUint16(l4[2:4], h.DstPort)
-
+	f := optionsFrame(h, 0)
 	out, err := ParseFrame(f)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if out != h {
 		t.Errorf("parsed %v, want %v", out, h)
+	}
+}
+
+// optionsFrame hand-builds a frame with IHL 6 (one option word of EOL
+// padding) and the given fragment flags/offset word, with a correct
+// checksum and a TotalLength covering header + transport words.
+func optionsFrame(h rules.Header, flagsFrag uint16) []byte {
+	f := make([]byte, FrameSize)
+	binary.BigEndian.PutUint16(f[12:14], etherTypeIPv4)
+	ip := f[ethHeaderLen:]
+	ip[0] = 0x46 // IHL 6
+	binary.BigEndian.PutUint16(ip[2:4], uint16(FrameSize-ethHeaderLen))
+	binary.BigEndian.PutUint16(ip[6:8], flagsFrag)
+	ip[9] = h.Proto
+	binary.BigEndian.PutUint32(ip[12:16], h.SrcIP)
+	binary.BigEndian.PutUint32(ip[16:20], h.DstIP)
+	binary.BigEndian.PutUint16(ip[10:12], checksum(ip[:24]))
+	l4 := ip[24:]
+	binary.BigEndian.PutUint16(l4[0:2], h.SrcPort)
+	binary.BigEndian.PutUint16(l4[2:4], h.DstPort)
+	return f
+}
+
+// setTotalLen rewrites the frame's IPv4 TotalLength and re-checksums the
+// header so only the length validation, not the checksum, is under test.
+func setTotalLen(f []byte, totalLen int) {
+	ip := f[ethHeaderLen:]
+	ihl := int(ip[0]&0x0F) * 4
+	binary.BigEndian.PutUint16(ip[2:4], uint16(totalLen))
+	binary.BigEndian.PutUint16(ip[10:12], 0)
+	binary.BigEndian.PutUint16(ip[10:12], checksum(ip[:ihl]))
+}
+
+// setFragment rewrites the frame's flags/fragment-offset word (offset in
+// 8-byte units) and re-checksums the header.
+func setFragment(f []byte, flagsFrag uint16) {
+	ip := f[ethHeaderLen:]
+	ihl := int(ip[0]&0x0F) * 4
+	binary.BigEndian.PutUint16(ip[6:8], flagsFrag)
+	binary.BigEndian.PutUint16(ip[10:12], 0)
+	binary.BigEndian.PutUint16(ip[10:12], checksum(ip[:ihl]))
+}
+
+// TestTotalLengthBoundsTransportDecode covers the padding bug: an IPv4
+// datagram whose TotalLength stops short of a transport header must be
+// rejected, never have its ports read out of Ethernet padding — even
+// when the padding bytes are crafted to look like plausible ports.
+func TestTotalLengthBoundsTransportDecode(t *testing.T) {
+	base := rules.Header{SrcIP: 0x0A000001, DstIP: 0xC0A80001, SrcPort: 443, DstPort: 8443, Proto: rules.ProtoTCP}
+	cases := []struct {
+		name     string
+		proto    uint8
+		totalLen int
+		wantErr  bool
+	}{
+		{"tcp-header-only-datagram", rules.ProtoTCP, 20, true},      // TotalLength == IHL: no room for ports
+		{"tcp-two-byte-l4", rules.ProtoTCP, 22, true},               // room for SrcPort only
+		{"udp-header-only-datagram", rules.ProtoUDP, 20, true},      // same for UDP
+		{"tcp-minimal-l4", rules.ProtoTCP, 24, false},               // exactly ihl+4: ports decode
+		{"icmp-header-only", rules.ProtoICMP, 20, false},            // no ports wanted: fine
+		{"total-shorter-than-header", rules.ProtoTCP, 8, true},      // TotalLength < IHL
+		{"total-beyond-frame", rules.ProtoTCP, FrameSize + 1, true}, // truncated capture
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := base
+			h.Proto = tc.proto
+			f := BuildFrame(h)
+			// Fill the padding beyond the claimed datagram with bytes that
+			// decode as attractive-looking ports; the parser must never
+			// see them.
+			for i := ethHeaderLen + tc.totalLen; i >= 0 && i < len(f); i++ {
+				f[i] = 0x35 // 0x3535 = port 13621
+			}
+			setTotalLen(f, tc.totalLen)
+			got, err := ParseFrame(f)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("TotalLength %d parsed successfully as %+v; want rejection", tc.totalLen, got)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("TotalLength %d: %v", tc.totalLen, err)
+			}
+			want := h
+			if h.Proto != rules.ProtoTCP && h.Proto != rules.ProtoUDP {
+				want.SrcPort, want.DstPort = 0, 0
+			}
+			if got != want {
+				t.Fatalf("parsed %+v, want %+v (poison padding leaked into the decode)", got, want)
+			}
+		})
+	}
+}
+
+// TestFragmentsClassifyWithZeroPorts covers the fragment bug: a non-first
+// fragment's payload starts where the transport header would, so decoding
+// ports from it reads arbitrary payload bytes. Such frames must classify
+// with zero ports; first fragments (offset 0, MF set) carry the real
+// transport header and must decode normally.
+func TestFragmentsClassifyWithZeroPorts(t *testing.T) {
+	const moreFragments = 0x2000 // MF flag in the flags/frag-offset word
+	base := rules.Header{SrcIP: 0x01020304, DstIP: 0x05060708, SrcPort: 31337, DstPort: 53, Proto: rules.ProtoTCP}
+	cases := []struct {
+		name      string
+		proto     uint8
+		flagsFrag uint16
+		wantPorts bool
+	}{
+		{"tcp-unfragmented", rules.ProtoTCP, 0, true},
+		{"tcp-first-fragment", rules.ProtoTCP, moreFragments, true}, // offset 0: real header present
+		{"tcp-second-fragment", rules.ProtoTCP, moreFragments | 1, false},
+		{"tcp-last-fragment", rules.ProtoTCP, 185, false}, // offset 185*8, MF clear
+		{"udp-second-fragment", rules.ProtoUDP, moreFragments | 1, false},
+		{"udp-max-offset", rules.ProtoUDP, 0x1FFF, false},
+		{"tcp-dont-fragment", rules.ProtoTCP, 0x4000, true}, // DF alone never hides the header
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := base
+			h.Proto = tc.proto
+			f := BuildFrame(h)
+			setFragment(f, tc.flagsFrag)
+			got, err := ParseFrame(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := h
+			if !tc.wantPorts {
+				want.SrcPort, want.DstPort = 0, 0
+			}
+			if got != want {
+				t.Fatalf("flags/frag %#04x: parsed %+v, want %+v", tc.flagsFrag, got, want)
+			}
+		})
+	}
+}
+
+// TestFragmentWithIPOptions combines both corner cases: IHL > 5 and a
+// non-zero fragment offset. The option words must be skipped and the
+// payload-after-options still must not be decoded as ports.
+func TestFragmentWithIPOptions(t *testing.T) {
+	h := rules.Header{SrcIP: 9, DstIP: 10, SrcPort: 7777, DstPort: 8888, Proto: rules.ProtoUDP}
+	// Non-first fragment with options: ports must come back zero.
+	f := optionsFrame(h, 0x2000|2)
+	got, err := ParseFrame(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := h
+	want.SrcPort, want.DstPort = 0, 0
+	if got != want {
+		t.Fatalf("fragment with options parsed %+v, want %+v", got, want)
+	}
+	// First fragment with options: ports decode from after the options.
+	f = optionsFrame(h, 0x2000)
+	got, err = ParseFrame(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("first fragment with options parsed %+v, want %+v", got, h)
+	}
+	// Options eating the whole datagram: IHL 6 but TotalLength 24 leaves
+	// no transport bytes for a UDP datagram — reject.
+	f = optionsFrame(h, 0)
+	setTotalLen(f, 24)
+	if parsed, err := ParseFrame(f); err == nil {
+		t.Fatalf("options+short TotalLength parsed as %+v; want rejection", parsed)
 	}
 }
 
